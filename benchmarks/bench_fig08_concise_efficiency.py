@@ -1,0 +1,105 @@
+"""Fig. 8 — execution time of optimal *concise* preview discovery.
+
+Paper panels: (a) domains basketball/architecture/music at k=5, n=10;
+(b) k = 3..9 on music with n=20; (c) n = 8..20 on music with k=6.
+Finding: the DP beats brute force by orders of magnitude except on the
+smallest domain / smallest k, where data-structure overheads dominate.
+
+Brute force is only run while the k-subset count stays under the
+feasibility limit (the paper's C++ brute force itself climbs to ~10^7 ms);
+skipped points are recorded as such in the results file — the skip *is*
+the paper's finding at those sizes.
+"""
+
+import pytest
+from conftest import (
+    EFFICIENCY_DOMAINS,
+    brute_force_feasible,
+    domain_context,
+)
+
+from repro.bench import format_table, time_callable, write_result
+from repro.core import (
+    SizeConstraint,
+    brute_force_discover,
+    dynamic_programming_discover,
+)
+
+ROWS = []
+
+
+def run_point(label, context, k, n):
+    size = SizeConstraint(k=k, n=n)
+    dp = time_callable(
+        lambda: dynamic_programming_discover(context, size), label="dp", runs=3
+    )
+    big_k = len(context.schema.entity_types())
+    if brute_force_feasible(big_k, k):
+        bf = time_callable(
+            lambda: brute_force_discover(context, size), label="bf", runs=3
+        )
+        bf_ms = bf.milliseconds
+        # Exactness cross-check while we are here.
+        a = dynamic_programming_discover(context, size)
+        b = brute_force_discover(context, size)
+        assert a.score == pytest.approx(b.score)
+    else:
+        bf_ms = None
+    ROWS.append([label, k, n, bf_ms, dp.milliseconds])
+    return bf_ms, dp.milliseconds
+
+
+def test_fig08_panel_domains(benchmark):
+    def run():
+        out = {}
+        for domain in EFFICIENCY_DOMAINS:
+            context = domain_context(domain)
+            out[domain] = run_point(f"domain={domain}", context, k=5, n=10)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    bf_arch, dp_arch = results["architecture"]
+    # Shape: on the mid-size domain the DP wins by a wide margin.
+    assert bf_arch is not None and bf_arch > dp_arch
+    # Music brute force is infeasible (C(69,5) ~ 1.1e7 subsets).
+    assert results["music"][0] is None
+
+
+def test_fig08_panel_k_sweep(benchmark):
+    context = domain_context("music")
+
+    def run():
+        return [run_point(f"music k={k}", context, k=k, n=20) for k in range(3, 10)]
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    dp_times = [dp for _bf, dp in points]
+    # DP stays in interactive territory across the whole sweep.
+    assert max(dp_times) < 10_000, dp_times
+    # Brute force is feasible only for the smallest k (the blow-up *is*
+    # the result).
+    feasible = [bf for bf, _dp in points if bf is not None]
+    assert len(feasible) <= 2
+
+
+def test_fig08_panel_n_sweep(benchmark):
+    context = domain_context("music")
+
+    def run():
+        return [run_point(f"music n={n}", context, k=6, n=n) for n in range(8, 21, 4)]
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    for bf_ms, _dp_ms in points:
+        assert bf_ms is None  # C(69,6) is far beyond the brute-force limit
+
+
+def test_fig08_write_results(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = format_table(
+        ["point", "k", "n", "brute-force ms", "dp ms"],
+        [
+            [label, k, n, "infeasible" if bf is None else f"{bf:.1f}", f"{dp:.1f}"]
+            for label, k, n, bf, dp in ROWS
+        ],
+        title="Fig. 8: optimal concise preview discovery time (3-run average)",
+    )
+    write_result("fig08_concise_efficiency.txt", text)

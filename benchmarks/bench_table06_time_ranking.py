@@ -1,0 +1,52 @@
+"""Table 6 — approaches sorted by median existence-test time, per domain.
+
+Paper: Tight needs the least time in 3 of 5 domains (second in a fourth);
+Freebase does well; YPS09 and Graph are the least convenient.
+"""
+
+from conftest import GOLD_DOMAINS, user_study_for
+
+from repro.bench import format_table, write_result
+
+
+def build_table6():
+    return {
+        domain: (
+            user_study_for(domain).time_ranking(),
+            user_study_for(domain).median_times(),
+        )
+        for domain in GOLD_DOMAINS
+    }
+
+
+def test_table06_time_ranking(benchmark):
+    table = benchmark.pedantic(build_table6, rounds=1, iterations=1)
+
+    tight_top2 = sum(
+        1 for ranking, _times in table.values() if ranking.index("Tight") <= 1
+    )
+    assert tight_top2 >= 3, {d: r for d, (r, _t) in table.items()}
+    graph_bottom = sum(
+        1 for ranking, _times in table.values() if ranking.index("Graph") >= 4
+    )
+    assert graph_bottom >= 3
+
+    rows = [
+        [domain] + ranking for domain, (ranking, _times) in table.items()
+    ]
+    text = format_table(
+        ["domain"] + [str(i) for i in range(1, 8)],
+        rows,
+        title="Table 6: approaches by ascending median existence-test time",
+    )
+    times_rows = [
+        [domain]
+        + [f"{times[a]:.1f}s" for a in sorted(times, key=times.get)]
+        for domain, (_ranking, times) in table.items()
+    ]
+    text += "\n\n" + format_table(
+        ["domain"] + [str(i) for i in range(1, 8)],
+        times_rows,
+        title="median seconds per question (sorted)",
+    )
+    write_result("table06_time_ranking.txt", text)

@@ -1,0 +1,54 @@
+"""Tables 7 and 13-16 — pairwise z-tests of conversion rates, all domains.
+
+Paper: two-proportion one-tailed z-tests at α=0.1 per domain ("music" is
+Table 7; books/film/TV/people are Tables 13-16).  Outcomes are diverse
+across domains; the full matrices are written to the results file.
+"""
+
+from conftest import GOLD_DOMAINS, user_study_for
+
+from repro.bench import write_result
+from repro.eval import APPROACHES
+
+TABLE_IDS = {"music": "7", "books": "13", "film": "14", "tv": "15", "people": "16"}
+
+
+def build_matrices():
+    return {domain: user_study_for(domain).pairwise_z_tests() for domain in GOLD_DOMAINS}
+
+
+def test_tables_07_13_16_pairwise_ztests(benchmark):
+    matrices = benchmark.pedantic(build_matrices, rounds=1, iterations=1)
+
+    lines = []
+    any_significant = 0
+    for domain in GOLD_DOMAINS:
+        tests = matrices[domain]
+        assert len(tests) == 21
+        lines.append(
+            f"\nTable {TABLE_IDS[domain]} (domain={domain}): "
+            f"z-score / one-tailed p-value, alpha=0.1"
+        )
+        for (a, b), result in tests.items():
+            marker = ""
+            if result.significant:
+                any_significant += 1
+                winner = a if result.winner == "A" else b
+                marker = f"  ** {winner} better"
+            lines.append(
+                f"  {a:8s} vs {b:8s}: z={result.z:+.2f} p={result.p_value:.4f}"
+                f"{marker}"
+            )
+            # Internal consistency: z sign matches rate ordering.
+            if result.z > 0:
+                assert result.rate_a >= result.rate_b
+            elif result.z < 0:
+                assert result.rate_a <= result.rate_b
+    # Across 105 comparisons some differences must be significant (the
+    # paper finds many), but not all (sample sizes are small).
+    assert 5 <= any_significant <= 100
+
+    write_result(
+        "table07_13_16_pairwise_ztests.txt",
+        "Tables 7/13-16: pairwise conversion-rate z-tests\n" + "\n".join(lines),
+    )

@@ -1,0 +1,46 @@
+"""Tables 8 and 9 — UX questionnaire and cross-domain perception ranking.
+
+Table 8 defines the four Likert questions (encoded in
+:mod:`repro.eval.likert`); Table 9 sorts the seven approaches by average
+score per question across all five domains.  The paper's headline is the
+*mismatch* between perception and efficacy: Graph/YPS09 lead perceived
+understanding (Q2/Q3) while Tight — objectively fastest — ranks last on
+readability (Q1).
+"""
+
+from conftest import GOLD_DOMAINS, user_study_for
+
+from repro.bench import format_table, write_result
+from repro.eval import APPROACHES, QUESTIONS, cross_domain_likert_ranking
+from repro.eval.likert import QUESTION_KEYS
+
+
+def build_table9():
+    results = [user_study_for(domain) for domain in GOLD_DOMAINS]
+    return cross_domain_likert_ranking(results)
+
+
+def test_table09_ux_ranking(benchmark):
+    rankings = benchmark.pedantic(build_table9, rounds=1, iterations=1)
+
+    for question, ranking in rankings.items():
+        assert sorted(ranking) == sorted(APPROACHES)
+    # The perception/efficacy mismatch (paper Sec. 6.3.2):
+    # Graph leads perceived understanding...
+    assert rankings["Q2"].index("Graph") <= 1
+    # ...while Tight — the objectively fastest approach — is perceived
+    # as hard to read.
+    assert rankings["Q1"].index("Tight") >= 4
+    # YPS09 is perceived as the most complete (Q4) despite its width.
+    assert rankings["Q4"].index("YPS09") <= 1
+
+    rows = [
+        [question] + rankings[question] for question in QUESTION_KEYS
+    ]
+    text = format_table(
+        ["question"] + [str(i) for i in range(1, 8)],
+        rows,
+        title="Table 9: approaches by descending average UX score (5 domains)",
+    )
+    text += "\n\nTable 8 questionnaire:\n" + "\n".join(QUESTIONS)
+    write_result("table09_ux_ranking.txt", text)

@@ -1,0 +1,34 @@
+"""Table 10 — the Freebase gold standard, resolved against our domains.
+
+The gold standard is data, not computation; this bench verifies that the
+encoded Table 10 resolves losslessly against the generated schema graphs
+(every gold key type exists; every gold attribute is a real candidate).
+"""
+
+from conftest import GOLD_DOMAINS, domain_schema
+
+from repro.baselines import gold_preview
+from repro.bench import write_result
+from repro.core import render_preview
+from repro.datasets import GOLD_STANDARD, gold_size_constraint
+
+
+def build_table10():
+    return {domain: gold_preview(domain, domain_schema(domain)) for domain in GOLD_DOMAINS}
+
+
+def test_table10_gold_standard(benchmark):
+    previews = benchmark.pedantic(build_table10, rounds=1, iterations=1)
+
+    lines = ["Table 10: Freebase gold standard resolved against our schemas"]
+    for domain, preview in previews.items():
+        k, n = gold_size_constraint(domain)
+        assert preview.table_count == 6
+        # Every gold attribute resolved (the generator plants them all).
+        assert preview.attribute_count == n
+        for table in preview.tables:
+            gold_attrs = set(GOLD_STANDARD[domain][table.key])
+            assert {attr.name for attr in table.nonkey} == gold_attrs
+        lines.append(f"\nDomain={domain}, k={k}, n={n}")
+        lines.append(render_preview(preview))
+    write_result("table10_gold_standard.txt", "\n".join(lines))

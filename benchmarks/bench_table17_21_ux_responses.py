@@ -1,0 +1,42 @@
+"""Tables 17-21 — per-domain user-experience responses (Q1-Q4 means).
+
+Paper: mean Likert score per approach per question per domain; values in
+the 2.9-4.7 band with domain-to-domain diversity.
+"""
+
+from conftest import GOLD_DOMAINS, user_study_for
+
+from repro.bench import format_table, write_result
+from repro.eval import APPROACHES
+from repro.eval.likert import QUESTION_KEYS
+
+TABLE_IDS = {"books": "17", "film": "18", "music": "19", "tv": "20", "people": "21"}
+
+
+def build_tables():
+    return {domain: user_study_for(domain).likert_means() for domain in GOLD_DOMAINS}
+
+
+def test_tables_17_21_ux_responses(benchmark):
+    tables = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+
+    blocks = []
+    for domain in GOLD_DOMAINS:
+        means = tables[domain]
+        for approach in APPROACHES:
+            for question in QUESTION_KEYS:
+                value = means[approach][question]
+                # Paper band: 2.9 .. 4.7; allow noise slack.
+                assert 2.5 <= value <= 5.0, (domain, approach, question, value)
+        rows = [
+            [approach] + [f"{means[approach][q]:.2f}" for q in QUESTION_KEYS]
+            for approach in APPROACHES
+        ]
+        blocks.append(
+            format_table(
+                ["approach"] + list(QUESTION_KEYS),
+                rows,
+                title=f"Table {TABLE_IDS[domain]}: UX responses, domain={domain}",
+            )
+        )
+    write_result("table17_21_ux_responses.txt", "\n\n".join(blocks))

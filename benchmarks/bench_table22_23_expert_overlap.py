@@ -1,0 +1,56 @@
+"""Tables 22/23 — P@K between the Freebase and Experts gold standards.
+
+Paper: evaluating either curated preview against the other as ground
+truth gives P@6 between 0.333 and 0.833, music being the most aligned.
+The relationship is symmetric at K=6 (same intersection size).
+"""
+
+from conftest import GOLD_DOMAINS
+
+from repro.bench import format_table, write_result
+from repro.datasets import expert_key_attributes, gold_key_attributes
+from repro.eval import precision_at_k
+
+
+def build_tables():
+    out = {}
+    for domain in GOLD_DOMAINS:
+        gold = gold_key_attributes(domain)
+        expert = expert_key_attributes(domain)
+        out[domain] = {
+            "freebase_vs_experts": [
+                precision_at_k(gold, set(expert), k) for k in range(1, 7)
+            ],
+            "experts_vs_freebase": [
+                precision_at_k(expert, set(gold), k) for k in range(1, 7)
+            ],
+        }
+    return out
+
+
+def test_table22_23_expert_overlap(benchmark):
+    tables = benchmark.pedantic(build_tables, rounds=1, iterations=1)
+
+    for domain, curves in tables.items():
+        p6_a = curves["freebase_vs_experts"][5]
+        p6_b = curves["experts_vs_freebase"][5]
+        # P@6 symmetric: both lists have 6 entries, same intersection.
+        assert p6_a == p6_b
+        # Paper band: 0.333 .. 0.833 (reasonable but partial overlap).
+        assert 0.3 <= p6_a <= 0.9, (domain, p6_a)
+    # Music is the most aligned domain (0.833).
+    assert tables["music"]["freebase_vs_experts"][5] == max(
+        curves["freebase_vs_experts"][5] for curves in tables.values()
+    )
+
+    blocks = []
+    for label, key in (
+        ("Table 22: P@K of Freebase keys using Experts as ground truth", "freebase_vs_experts"),
+        ("Table 23: P@K of Experts keys using Freebase as ground truth", "experts_vs_freebase"),
+    ):
+        rows = [
+            [k] + [f"{tables[d][key][k - 1]:.3f}" for d in GOLD_DOMAINS]
+            for k in range(1, 7)
+        ]
+        blocks.append(format_table(["K"] + list(GOLD_DOMAINS), rows, title=label))
+    write_result("table22_23_expert_overlap.txt", "\n\n".join(blocks))

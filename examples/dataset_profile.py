@@ -1,0 +1,46 @@
+"""Profile a dataset before previewing it.
+
+A data worker deciding whether to fetch a dataset first wants the cheap
+statistics: sizes, skew, schema topology.  This example profiles built-in
+domains, then uses the topology to pick sensible tight/diverse distance
+constraints and generates both previews — the end-to-end "look before you
+download" workflow the paper motivates.
+
+Run:  python examples/dataset_profile.py [domain ...]
+"""
+
+import sys
+
+from repro import discover_preview
+from repro.analysis import profile_dataset, profile_report
+from repro.datasets import load_domain, load_schema
+from repro.ext import suggest_diverse_distance, suggest_size, suggest_tight_distance
+
+
+def main():
+    domains = sys.argv[1:] or ["architecture", "film"]
+    for domain in domains:
+        graph = load_domain(domain)
+        schema = load_schema(domain)
+        print(profile_report(profile_dataset(graph)))
+
+        suggestion = suggest_size(schema, display_rows=30, display_cols=8)
+        tight_d = suggest_tight_distance(schema)
+        diverse_d = suggest_diverse_distance(schema)
+        print(
+            f"  suggested: k={suggestion.k} n={suggestion.n} "
+            f"tight d={tight_d} diverse d={diverse_d}"
+        )
+        tight = discover_preview(
+            graph, k=suggestion.k, n=suggestion.n, d=tight_d, mode="tight"
+        )
+        diverse = discover_preview(
+            graph, k=suggestion.k, n=suggestion.n, d=diverse_d, mode="diverse"
+        )
+        print(f"  tight preview keys:   {', '.join(tight.preview.keys())}")
+        print(f"  diverse preview keys: {', '.join(diverse.preview.keys())}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Generate the one-shot reproduction report across gold domains.
+
+Builds a Markdown report with scoring accuracy, crowd correlation and
+user-study summaries per domain — the quick way to see the whole paper
+reproduction at a glance (the precise per-table artifacts live under
+``results/`` after running the benchmark suite).
+
+Run:  python examples/full_report.py [domain ...]
+"""
+
+import sys
+
+from repro.eval.report import full_report
+
+
+def main():
+    domains = sys.argv[1:] or ["film", "people"]
+    print(full_report(domains))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Numeric attributes in previews (the paper's future work #3).
+
+The paper strips numeric values from Freebase and defers incorporating
+them into preview tables.  This example attaches runtime/budget literals
+to the Fig. 1 film graph, discovers the usual preview, and augments each
+table with its best-covered numeric attributes rendered as summary
+statistics.
+
+Run:  python examples/numeric_previews.py
+"""
+
+from quickstart import build_film_excerpt
+
+from repro import discover_preview, render_preview
+from repro.ext import NumericAttributeStore, augment_preview, render_numeric_summary
+
+
+def main():
+    graph = build_film_excerpt()
+    store = NumericAttributeStore(graph)
+    store.add("Men in Black", "Runtime (min)", 98)
+    store.add("Men in Black II", "Runtime (min)", 88)
+    store.add("Hancock", "Runtime (min)", 92)
+    store.add("I, Robot", "Runtime (min)", 115)
+    store.add("Men in Black", "Box Office ($M)", 589.4)
+    store.add("Men in Black II", "Box Office ($M)", 441.8)
+    store.add("I, Robot", "Box Office ($M)", 353.1)
+    store.add("Will Smith", "Films Count", 4)
+    store.add("Tommy Lee Jones", "Films Count", 2)
+
+    result = discover_preview(graph, k=2, n=6)
+    print(render_preview(result.preview, graph, sample_size=2))
+    print()
+    for augmented in augment_preview(result.preview, store, per_table_budget=2):
+        print(render_numeric_summary(augmented))
+        print()
+
+
+if __name__ == "__main__":
+    main()

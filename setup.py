@@ -1,0 +1,8 @@
+"""Compatibility shim: lets ``python setup.py develop`` work offline.
+
+The canonical metadata lives in pyproject.toml; this file only exists so
+editable installs succeed in environments without the ``wheel`` package.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Dataset analysis: profiling and statistics for entity graphs."""
+
+from .profiling import (
+    DatasetProfile,
+    DistributionSummary,
+    SchemaTopology,
+    estimate_zipf_exponent,
+    profile_dataset,
+    profile_report,
+    schema_topology,
+)
+
+__all__ = [
+    "DatasetProfile",
+    "DistributionSummary",
+    "SchemaTopology",
+    "estimate_zipf_exponent",
+    "profile_dataset",
+    "profile_report",
+    "schema_topology",
+]

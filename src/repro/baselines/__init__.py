@@ -1,0 +1,18 @@
+"""Baseline approaches: YPS09, schema-graph display, curated previews."""
+
+from .gold_tables import expert_preview, gold_preview
+from .relationalize import ColumnStats, RelationalTable, relationalize
+from .schema_graph_baseline import SchemaGraphPresentation, present_schema_graph
+from .yps09 import YPS09Summarizer, YPS09Summary
+
+__all__ = [
+    "ColumnStats",
+    "RelationalTable",
+    "SchemaGraphPresentation",
+    "YPS09Summarizer",
+    "YPS09Summary",
+    "expert_preview",
+    "gold_preview",
+    "present_schema_graph",
+    "relationalize",
+]

@@ -1,0 +1,86 @@
+"""The "Freebase" and "Experts" user-study approaches as preview objects.
+
+Both approaches present hand-curated preview tables (the gold standard of
+Table 10 and the expert panel's consolidated previews).  This module
+resolves those curated schemata against a generated domain's schema graph
+into the same :class:`~repro.core.preview.Preview` shape the automatic
+approaches produce, so the user-study simulation treats all seven
+approaches uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.preview import Preview, PreviewTable
+from ..datasets.gold_standard import (
+    EXPERT_KEY_ATTRIBUTES,
+    GOLD_STANDARD,
+)
+from ..model.attributes import NonKeyAttribute
+from ..model.ids import TypeId
+from ..model.schema_graph import SchemaGraph
+
+
+def _resolve_attribute(
+    schema: SchemaGraph, key_type: TypeId, attr_name: str
+) -> Optional[NonKeyAttribute]:
+    """Find the candidate attribute of ``key_type`` with ``attr_name``."""
+    for candidate in schema.candidate_attributes(key_type):
+        if candidate.name == attr_name:
+            return candidate
+    return None
+
+
+def gold_preview(domain: str, schema: SchemaGraph) -> Preview:
+    """The Table 10 gold standard resolved against ``schema``.
+
+    Gold attributes missing from the schema are skipped; a key type whose
+    attributes all resolve to nothing falls back to its top candidate so
+    the preview stays well-formed.
+    """
+    tables: List[PreviewTable] = []
+    for key_type, attr_names in GOLD_STANDARD[domain].items():
+        if not schema.has_entity_type(key_type):
+            continue
+        attrs = []
+        for attr_name in attr_names:
+            resolved = _resolve_attribute(schema, key_type, attr_name)
+            if resolved is not None:
+                attrs.append(resolved)
+        if not attrs:
+            candidates = schema.candidate_attributes(key_type)
+            if not candidates:
+                continue
+            attrs = [candidates[0]]
+        tables.append(PreviewTable(key=key_type, nonkey=tuple(attrs)))
+    return Preview(tables=tuple(tables))
+
+
+def expert_preview(
+    domain: str, schema: SchemaGraph, attributes_per_table: int = 3
+) -> Preview:
+    """The expert panel's consolidated preview resolved against ``schema``.
+
+    Experts chose their own key attributes (Tables 22/23 overlap with the
+    gold standard) and, for each, a handful of prominent attributes — we
+    model the latter as the type's top candidates by schema weight, which
+    matches how the experts worked (they browsed Freebase and picked the
+    relationships they saw most).
+    """
+    tables: List[PreviewTable] = []
+    for key_type in EXPERT_KEY_ATTRIBUTES[domain]:
+        if not schema.has_entity_type(key_type):
+            continue
+        candidates = sorted(
+            schema.candidate_attributes(key_type),
+            key=lambda attr: (-schema.relationship_count(attr.rel_type), str(attr)),
+        )
+        if not candidates:
+            continue
+        tables.append(
+            PreviewTable(
+                key=key_type, nonkey=tuple(candidates[:attributes_per_table])
+            )
+        )
+    return Preview(tables=tuple(tables))

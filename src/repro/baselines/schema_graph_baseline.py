@@ -1,0 +1,54 @@
+"""The "Graph" baseline: present the schema graph itself.
+
+One of the seven user-study approaches (Sec. 6.3) simply shows the full
+schema graph.  It is complete (every existence question is answerable
+from it) but large — the paper's participants were slow with it and its
+complexity inflated their perceived understanding (Table 9 discussion).
+
+This module renders a deterministic adjacency-list presentation and
+reports the size metrics the user-study simulation uses to model reading
+effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..model.ids import RelationshipTypeId, TypeId
+from ..model.schema_graph import SchemaGraph
+
+
+@dataclass(frozen=True)
+class SchemaGraphPresentation:
+    """The rendered schema graph plus its display-size metrics."""
+
+    entity_types: Tuple[TypeId, ...]
+    relationship_types: Tuple[RelationshipTypeId, ...]
+    text: str
+
+    @property
+    def display_items(self) -> int:
+        """Total items a reader must scan (vertices + edges)."""
+        return len(self.entity_types) + len(self.relationship_types)
+
+
+def present_schema_graph(schema: SchemaGraph) -> SchemaGraphPresentation:
+    """Render the schema graph as a sorted adjacency list."""
+    types = tuple(sorted(schema.entity_types()))
+    rels = tuple(
+        sorted(schema.relationship_types(), key=lambda r: (r.source_type, r.name))
+    )
+    lines: List[str] = []
+    by_source: Dict[TypeId, List[RelationshipTypeId]] = {}
+    for rel in rels:
+        by_source.setdefault(rel.source_type, []).append(rel)
+    for type_name in types:
+        count = schema.entity_count(type_name)
+        lines.append(f"{type_name} ({count} entities)")
+        for rel in by_source.get(type_name, []):
+            weight = schema.relationship_count(rel)
+            lines.append(f"  --{rel.name} [{weight}]--> {rel.target_type}")
+    return SchemaGraphPresentation(
+        entity_types=types, relationship_types=rels, text="\n".join(lines)
+    )

@@ -1,0 +1,26 @@
+"""YPS09 baseline: relational database summarization (Yang et al., VLDB'09)."""
+
+from .importance import (
+    column_entropy,
+    information_content,
+    join_graph,
+    ranked_tables,
+    table_importance,
+)
+from .kcenter import assign_clusters, weighted_k_center
+from .similarity import distance_matrix, table_distance
+from .summarizer import YPS09Summarizer, YPS09Summary
+
+__all__ = [
+    "YPS09Summarizer",
+    "YPS09Summary",
+    "assign_clusters",
+    "column_entropy",
+    "distance_matrix",
+    "information_content",
+    "join_graph",
+    "ranked_tables",
+    "table_distance",
+    "table_importance",
+    "weighted_k_center",
+]

@@ -1,0 +1,117 @@
+"""YPS09 table importance (adaptation of Yang/Procopiuc/Srivastava VLDB'09).
+
+Yang et al. rank relational tables by a stationary distribution of a
+random walk over the database's join graph, where
+
+* each table's *information content* couples its cardinality with the
+  entropy of its attributes, and
+* probability flows between joinable tables proportionally to the entropy
+  carried by the join attributes, with the remainder staying at the table.
+
+Our adaptation (documented in DESIGN.md) on the relationalized entity
+graph:
+
+* attribute entropy ``H(a)`` is the natural-log entropy of the column's
+  value histogram (empty values excluded);
+* information content ``IC(R) = log(1 + |R|) · (1 + Σ_a H(a))``;
+* join edges connect the two tables sharing a relationship type, weighted
+  by that column's entropy on each side;
+* the walk's self-transition weight is ``IC(R)``, outgoing weights are
+  the join-edge weights; rows are normalized and the stationary
+  distribution is the table importance.
+
+The paper validated its reimplementation on TPC-E; we validate ours on a
+hand-built miniature with known structure (see tests) and reproduce the
+*comparative* behaviour the paper reports: YPS09's ranking correlates
+with gold standards and crowds consistently worse than the coverage /
+random-walk measures (Figs. 5-7, Table 4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from ...graph.simple import UndirectedGraph
+from ...graph.stationary import stationary_distribution
+from ...model.ids import TypeId
+from ..relationalize import ColumnStats, RelationalTable
+
+
+def column_entropy(column: ColumnStats) -> float:
+    """Natural-log entropy of the column's value histogram."""
+    total = column.non_empty
+    if total <= 0:
+        return 0.0
+    entropy = 0.0
+    for count in column.histogram.values():
+        p = count / total
+        entropy -= p * math.log(p)
+    return entropy
+
+
+def information_content(table: RelationalTable) -> float:
+    """``IC(R) = log(1 + |R|) · (1 + Σ_a H(a))``."""
+    attr_entropy = sum(column_entropy(column) for column in table.columns)
+    return math.log1p(table.row_count) * (1.0 + attr_entropy)
+
+
+def join_graph(tables: Dict[TypeId, RelationalTable]) -> UndirectedGraph:
+    """Join graph: tables connected through shared relationship types.
+
+    The edge weight accumulates the entropy of the joining column on both
+    sides (a high-entropy join transfers more information, hence more
+    random-walk probability — the YPS09 intuition).
+    """
+    graph = UndirectedGraph()
+    entropies: Dict[Tuple[TypeId, object], float] = {}
+    for entity_type, table in tables.items():
+        graph.add_node(entity_type)
+        for column in table.columns:
+            entropies[(entity_type, column.attribute.rel_type)] = column_entropy(
+                column
+            )
+    seen = set()
+    for entity_type, table in tables.items():
+        for column in table.columns:
+            rel = column.attribute.rel_type
+            if rel in seen:
+                continue
+            seen.add(rel)
+            other = column.attribute.target_type()
+            if other not in tables:
+                continue
+            weight = entropies.get((entity_type, rel), 0.0) + entropies.get(
+                (other, rel), 0.0
+            )
+            graph.add_edge(entity_type, other, weight + 1e-9)
+    return graph
+
+
+def table_importance(
+    tables: Dict[TypeId, RelationalTable],
+    jump_probability: float = 1e-2,
+) -> Dict[TypeId, float]:
+    """Stationary importance of every table.
+
+    Builds the join graph augmented with per-table self-loops weighted by
+    information content, then runs the shared power-iteration solver.
+
+    The jump probability is larger than the schema walk's ``1e-5``: the
+    self-loop weights (information content) dominate near-zero-entropy
+    join edges, and without a non-trivial jump the chain mixes too slowly
+    to converge in reasonable time.  YPS09's own formulation includes an
+    equivalent damping term.
+    """
+    graph = join_graph(tables)
+    for entity_type, table in tables.items():
+        graph.add_edge(entity_type, entity_type, information_content(table))
+    return stationary_distribution(
+        graph, jump_probability=jump_probability, self_loops=True
+    )
+
+
+def ranked_tables(tables: Dict[TypeId, RelationalTable]) -> List[Tuple[TypeId, float]]:
+    """Tables by descending importance (the list Figs. 5-7 evaluate)."""
+    importance = table_importance(tables)
+    return sorted(importance.items(), key=lambda item: (-item[1], str(item[0])))

@@ -1,0 +1,62 @@
+"""Weighted k-center clustering (the final YPS09 step).
+
+Yang et al. place the database's tables into ``k`` clusters with a
+weighted k-center algorithm; the cluster centers are the summary.  We
+implement the classical greedy 2-approximation adapted with importance
+weights: the first center is the most important table, and each
+subsequent center maximizes ``importance(t) × dist(t, nearest center)`` —
+important tables far from every existing center define new clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ...exceptions import ReproError
+from ...model.ids import TypeId
+
+
+def weighted_k_center(
+    items: Sequence[TypeId],
+    weights: Dict[TypeId, float],
+    distances: Dict[TypeId, Dict[TypeId, float]],
+    k: int,
+) -> List[TypeId]:
+    """Pick ``k`` cluster centers greedily; deterministic tie-breaking."""
+    if k < 1:
+        raise ReproError(f"k must be at least 1, got {k}")
+    pool = list(items)
+    if k > len(pool):
+        raise ReproError(f"k={k} exceeds the {len(pool)} items")
+    first = max(pool, key=lambda t: (weights.get(t, 0.0), str(t)))
+    centers = [first]
+    while len(centers) < k:
+        best = None
+        best_score: Tuple[float, str] = (-1.0, "")
+        for item in pool:
+            if item in centers:
+                continue
+            nearest = min(distances[item][center] for center in centers)
+            score = weights.get(item, 0.0) * nearest
+            key = (score, str(item))
+            if key > best_score:
+                best_score = key
+                best = item
+        if best is None:  # all remaining items are centers already
+            break
+        centers.append(best)
+    return centers
+
+
+def assign_clusters(
+    items: Sequence[TypeId],
+    centers: Sequence[TypeId],
+    distances: Dict[TypeId, Dict[TypeId, float]],
+) -> Dict[TypeId, TypeId]:
+    """Map every item to its nearest center (ties to the earlier center)."""
+    assignment = {}
+    for item in items:
+        assignment[item] = min(
+            centers, key=lambda center: (distances[item][center], str(center))
+        )
+    return assignment

@@ -1,0 +1,17 @@
+"""Benchmark harness utilities: timing, table formatting, result files."""
+
+from .results import append_result, results_dir, write_result
+from .runner import DEFAULT_RUNS, Timing, speedup, time_callable
+from .tables import format_series, format_table
+
+__all__ = [
+    "DEFAULT_RUNS",
+    "Timing",
+    "append_result",
+    "format_series",
+    "format_table",
+    "results_dir",
+    "speedup",
+    "time_callable",
+    "write_result",
+]

@@ -1,0 +1,49 @@
+"""Results-directory management for the benchmark harness.
+
+Every bench writes a deterministic text artifact under ``results/`` so
+EXPERIMENTS.md can reference stable files, and CI diffs catch behavioural
+regressions in the reproduced tables/figures.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+PathLike = Union[str, os.PathLike]
+
+#: Environment variable overriding the results directory.
+RESULTS_ENV = "REPRO_RESULTS_DIR"
+
+
+def results_dir() -> Path:
+    """The directory experiment artifacts are written to.
+
+    Defaults to ``<repo>/results`` (two levels above this package when it
+    is an editable install) or ``./results`` otherwise; always created.
+    """
+    override = os.environ.get(RESULTS_ENV)
+    if override:
+        path = Path(override)
+    else:
+        here = Path(__file__).resolve()
+        repo_root = here.parents[3] if len(here.parents) >= 4 else Path.cwd()
+        candidate = repo_root / "results"
+        path = candidate if repo_root.name != "site-packages" else Path.cwd() / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_result(name: str, content: str) -> Path:
+    """Write one experiment artifact; returns its path."""
+    path = results_dir() / name
+    path.write_text(content.rstrip() + "\n", encoding="utf-8")
+    return path
+
+
+def append_result(name: str, content: str) -> Path:
+    path = results_dir() / name
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(content.rstrip() + "\n")
+    return path

@@ -1,0 +1,45 @@
+"""ASCII table formatting for experiment results files."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a padded ASCII table with an optional title."""
+    text_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in text_rows:
+        padded = [cell.ljust(widths[i]) for i, cell in enumerate(row)]
+        lines.append(" | ".join(padded))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_series(
+    label: str, xs: Sequence[object], ys: Sequence[float], precision: int = 3
+) -> str:
+    """Render one figure series as ``label: x=y`` pairs on one line."""
+    pairs = " ".join(f"{x}={y:.{precision}f}" for x, y in zip(xs, ys))
+    return f"{label}: {pairs}"

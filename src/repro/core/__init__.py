@@ -1,0 +1,65 @@
+"""Preview discovery — the paper's primary contribution."""
+
+from .apriori import apriori_discover
+from .branch_bound import branch_and_bound_discover
+from .brute_force import brute_force_discover
+from .candidates import best_preview_for_keys, eligible_key_types
+from .constraints import (
+    DistanceConstraint,
+    DistanceMode,
+    SizeConstraint,
+)
+from .discovery import ALGORITHMS, discover_preview, make_context
+from .dynamic_prog import dynamic_programming_discover
+from .materialize import (
+    DEFAULT_SAMPLE_SIZE,
+    MaterializedRow,
+    MaterializedTable,
+    materialize_preview,
+    materialize_table,
+    non_empty_ratio,
+)
+from .preview import DiscoveryResult, Preview, PreviewTable
+from .render import render_materialized_table, render_preview
+from .ties import all_optimal_previews
+from .serialize import (
+    preview_from_dict,
+    preview_from_json,
+    preview_to_dict,
+    preview_to_json,
+    result_from_dict,
+    result_to_dict,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "DEFAULT_SAMPLE_SIZE",
+    "DiscoveryResult",
+    "DistanceConstraint",
+    "DistanceMode",
+    "MaterializedRow",
+    "MaterializedTable",
+    "Preview",
+    "PreviewTable",
+    "SizeConstraint",
+    "all_optimal_previews",
+    "apriori_discover",
+    "best_preview_for_keys",
+    "branch_and_bound_discover",
+    "brute_force_discover",
+    "discover_preview",
+    "dynamic_programming_discover",
+    "eligible_key_types",
+    "make_context",
+    "materialize_preview",
+    "materialize_table",
+    "non_empty_ratio",
+    "preview_from_dict",
+    "preview_from_json",
+    "preview_to_dict",
+    "preview_to_json",
+    "render_materialized_table",
+    "render_preview",
+    "result_from_dict",
+    "result_to_dict",
+]

@@ -1,0 +1,66 @@
+"""Brute-force optimal preview discovery (Alg. 1).
+
+Enumerates every k-subset of candidate key attributes; for each subset the
+attribute allocation follows Theorem 3 (top-1 per table, then the globally
+best remaining candidates via a k-way merge — see
+:func:`~repro.core.candidates.best_preview_for_keys`).  The distance-
+constrained variant additionally rejects subsets with a violating key
+pair, exactly as the paper describes ("performing distance check on every
+pair of preview tables in each k-subset").
+
+Complexity: ``O(K N log N + C(K, k) (k + n))`` — exponential in ``k``;
+this is the baseline the DP and Apriori algorithms are measured against in
+Figs. 8 and 9.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+from ..scoring.preview_score import ScoringContext
+from .candidates import best_preview_for_keys, eligible_key_types
+from .constraints import DistanceConstraint, SizeConstraint, validate_constraints
+from .preview import DiscoveryResult
+
+
+def brute_force_discover(
+    context: ScoringContext,
+    size: SizeConstraint,
+    distance: Optional[DistanceConstraint] = None,
+) -> Optional[DiscoveryResult]:
+    """Find an optimal (concise/tight/diverse) preview by enumeration.
+
+    Returns None when no k-subset is feasible (e.g. a diverse constraint
+    nobody satisfies).  Ties in score are broken by enumeration order,
+    which is deterministic given the schema construction order — the paper
+    likewise returns one optimal preview and notes the extension to all.
+    """
+    key_pool = eligible_key_types(context)
+    validate_constraints(size, distance, key_pool)
+    oracle = context.schema.distance_oracle() if distance is not None else None
+
+    best_score = float("-inf")
+    best_preview = None
+    examined = 0
+    for keys in combinations(key_pool, size.k):
+        if distance is not None and not distance.keys_ok(oracle, keys):
+            continue
+        examined += 1
+        allocation = best_preview_for_keys(context, keys, size)
+        if allocation is None:
+            continue
+        preview, score = allocation
+        if score > best_score:
+            best_score = score
+            best_preview = preview
+    if best_preview is None:
+        return None
+    return DiscoveryResult(
+        preview=best_preview,
+        score=best_score,
+        algorithm="brute-force",
+        key_scorer=context.key_scorer_name,
+        nonkey_scorer=context.nonkey_scorer_name,
+        candidates_examined=examined,
+    )

@@ -1,0 +1,108 @@
+"""Candidate bookkeeping shared by all discovery algorithms.
+
+Implements the consequence of Theorem 3: in an optimal preview, a table
+with key ``τ`` and ``m`` non-key attributes uses exactly the top-``m``
+entries of the sorted candidate list ``Γτ``.  Given a fixed set of key
+attributes, the best attribute allocation is therefore:
+
+1. give every table its top-1 candidate (each table needs one);
+2. fill the remaining ``n - k`` slots with the globally best remaining
+   candidates ranked by weighted score ``S(τ) × Sτ(γ)`` — a k-way merge
+   over the per-type sorted lists (Alg. 1 lines 5-14).
+
+Attributes with zero (or negative-rounded-to-zero) marginal contribution
+beyond the mandatory first are skipped: Definition 2 only upper-bounds the
+attribute count, and a zero-score attribute never increases the score, so
+dropping it leaves the preview optimal while keeping it minimal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from ..model.attributes import NonKeyAttribute
+from ..model.ids import TypeId
+from ..scoring.preview_score import ScoringContext
+from .constraints import SizeConstraint
+from .preview import Preview, PreviewTable
+
+
+def eligible_key_types(context: ScoringContext) -> List[TypeId]:
+    """Entity types that can key a table (non-empty candidate list)."""
+    return [
+        type_name
+        for type_name in context.schema.entity_types()
+        if context.sorted_candidates(type_name)
+    ]
+
+
+def best_preview_for_keys(
+    context: ScoringContext,
+    keys: Sequence[TypeId],
+    size: SizeConstraint,
+) -> Optional[Tuple[Preview, float]]:
+    """Best attribute allocation for a fixed key set, or None if infeasible.
+
+    Infeasible means some key type has no candidate non-key attribute at
+    all (an isolated schema vertex cannot form a table).  The returned
+    score is exact under Eq. 1 / Eq. 2.
+    """
+    if len(set(keys)) != len(keys):
+        return None
+    per_key: List[List[Tuple[NonKeyAttribute, float]]] = []
+    for key in keys:
+        ranked = context.sorted_candidates(key)
+        if not ranked:
+            return None
+        per_key.append(ranked)
+
+    chosen: List[List[NonKeyAttribute]] = []
+    score = 0.0
+    # Mandatory top-1 per table (Alg. 1 line 8).
+    heap: List[Tuple[float, int, int]] = []  # (-weighted, key_idx, rank)
+    for key_idx, (key, ranked) in enumerate(zip(keys, per_key)):
+        top_attr, top_score = ranked[0]
+        chosen.append([top_attr])
+        key_weight = context.key_score(key)
+        score += key_weight * top_score
+        if len(ranked) > 1:
+            weighted = key_weight * ranked[1][1]
+            heapq.heappush(heap, (-weighted, key_idx, 1))
+
+    # Merge-fill the remaining n - k slots (Alg. 1 lines 11-14).
+    remaining = size.n - size.k
+    while remaining > 0 and heap:
+        neg_weighted, key_idx, rank = heapq.heappop(heap)
+        weighted = -neg_weighted
+        if weighted <= 0.0:
+            break  # zero-score candidates never improve the preview
+        attr = per_key[key_idx][rank][0]
+        chosen[key_idx].append(attr)
+        score += weighted
+        remaining -= 1
+        next_rank = rank + 1
+        if next_rank < len(per_key[key_idx]):
+            key_weight = context.key_score(keys[key_idx])
+            next_weighted = key_weight * per_key[key_idx][next_rank][1]
+            heapq.heappush(heap, (-next_weighted, key_idx, next_rank))
+
+    preview = Preview(
+        tables=tuple(
+            PreviewTable(key=key, nonkey=tuple(attrs))
+            for key, attrs in zip(keys, chosen)
+        )
+    )
+    return preview, score
+
+
+def upper_bound_for_keys(
+    context: ScoringContext, keys: Sequence[TypeId], size: SizeConstraint
+) -> float:
+    """A cheap upper bound on the best score achievable with ``keys``.
+
+    Used for pruning: each table independently takes its best
+    ``n - (k - 1)`` candidates.  Never below the true optimum.
+    """
+    cap = size.max_attributes_per_table
+    return sum(context.top_m_table_score(key, cap) for key in keys)

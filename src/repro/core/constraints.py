@@ -1,0 +1,104 @@
+"""Size and distance constraints on previews (Sec. 4, Definition 2).
+
+* :class:`SizeConstraint` ``(k, n)`` — a *concise* preview has exactly
+  ``k`` tables and at most ``n`` non-key attributes in total.
+* :class:`DistanceConstraint` ``(d, mode)`` — a *tight* preview further
+  requires every pair of key attributes within schema distance ``d``; a
+  *diverse* preview requires every pair at distance at least ``d``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..exceptions import InvalidConstraintError
+from ..graph.distance import DistanceOracle
+from ..model.ids import TypeId
+from .preview import Preview
+
+
+@dataclass(frozen=True)
+class SizeConstraint:
+    """``(k, n)``: k preview tables, at most n non-key attributes total."""
+
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise InvalidConstraintError(f"k must be at least 1, got {self.k}")
+        if self.n < self.k:
+            raise InvalidConstraintError(
+                f"n must be at least k (every table needs one non-key "
+                f"attribute); got k={self.k}, n={self.n}"
+            )
+
+    def satisfied_by(self, preview: Preview) -> bool:
+        return (
+            preview.table_count == self.k
+            and preview.attribute_count <= self.n
+        )
+
+    @property
+    def max_attributes_per_table(self) -> int:
+        """``n - (k - 1)``: the widest any single table can be."""
+        return self.n - (self.k - 1)
+
+
+class DistanceMode(enum.Enum):
+    """Whether the pairwise distance bound is an upper or a lower bound."""
+
+    TIGHT = "tight"  # dist <= d for every pair
+    DIVERSE = "diverse"  # dist >= d for every pair
+
+
+@dataclass(frozen=True)
+class DistanceConstraint:
+    """``d`` plus a mode; evaluated on key-attribute pairs via an oracle."""
+
+    d: int
+    mode: DistanceMode = DistanceMode.TIGHT
+
+    def __post_init__(self) -> None:
+        if self.d < 0:
+            raise InvalidConstraintError(f"d must be non-negative, got {self.d}")
+
+    @classmethod
+    def tight(cls, d: int) -> "DistanceConstraint":
+        return cls(d=d, mode=DistanceMode.TIGHT)
+
+    @classmethod
+    def diverse(cls, d: int) -> "DistanceConstraint":
+        return cls(d=d, mode=DistanceMode.DIVERSE)
+
+    def pair_ok(self, oracle: DistanceOracle, a: TypeId, b: TypeId) -> bool:
+        """Whether one pair of key attributes satisfies the bound."""
+        if self.mode is DistanceMode.TIGHT:
+            return oracle.within(a, b, self.d)
+        return oracle.at_least(a, b, self.d)
+
+    def keys_ok(self, oracle: DistanceOracle, keys: Sequence[TypeId]) -> bool:
+        """Whether every pair among ``keys`` satisfies the bound."""
+        for i, a in enumerate(keys):
+            for b in keys[i + 1:]:
+                if not self.pair_ok(oracle, a, b):
+                    return False
+        return True
+
+    def satisfied_by(self, oracle: DistanceOracle, preview: Preview) -> bool:
+        return self.keys_ok(oracle, preview.keys())
+
+
+def validate_constraints(
+    size: SizeConstraint,
+    distance: Optional[DistanceConstraint],
+    available_types: Iterable[TypeId],
+) -> None:
+    """Fail fast when ``k`` exceeds the number of candidate key types."""
+    available = sum(1 for _ in available_types)
+    if size.k > available:
+        raise InvalidConstraintError(
+            f"k={size.k} exceeds the {available} candidate key attributes"
+        )

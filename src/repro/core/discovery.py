@@ -1,0 +1,145 @@
+"""High-level preview discovery facade.
+
+:func:`discover_preview` is the main entry point of the library: given an
+entity graph (or a prebuilt :class:`ScoringContext`), a size constraint
+and an optional distance constraint, it selects the appropriate algorithm
+(DP for concise previews, Apriori-style for tight/diverse — the paper's
+recommended pairing), runs it and returns a :class:`DiscoveryResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..exceptions import DiscoveryError, InfeasiblePreviewError
+from ..model.entity_graph import EntityGraph
+from ..model.schema_graph import SchemaGraph
+from ..scoring.preview_score import ScoringContext
+from .apriori import apriori_discover
+from .brute_force import brute_force_discover
+from .constraints import DistanceConstraint, DistanceMode, SizeConstraint
+from .dynamic_prog import dynamic_programming_discover
+from .preview import DiscoveryResult
+
+#: Algorithm names accepted by :func:`discover_preview`.
+ALGORITHMS = (
+    "auto",
+    "brute-force",
+    "dynamic-programming",
+    "apriori",
+    "branch-and-bound",
+)
+
+
+def make_context(
+    data: Union[EntityGraph, SchemaGraph, ScoringContext],
+    key_scorer: str = "coverage",
+    nonkey_scorer: str = "coverage",
+) -> ScoringContext:
+    """Normalize any accepted input into a :class:`ScoringContext`."""
+    if isinstance(data, ScoringContext):
+        return data
+    if isinstance(data, EntityGraph):
+        schema = SchemaGraph.from_entity_graph(data)
+        return ScoringContext(
+            schema,
+            entity_graph=data,
+            key_scorer=key_scorer,
+            nonkey_scorer=nonkey_scorer,
+        )
+    if isinstance(data, SchemaGraph):
+        return ScoringContext(
+            data, key_scorer=key_scorer, nonkey_scorer=nonkey_scorer
+        )
+    raise DiscoveryError(
+        f"expected EntityGraph, SchemaGraph or ScoringContext, "
+        f"got {type(data).__name__}"
+    )
+
+
+def discover_preview(
+    data: Union[EntityGraph, SchemaGraph, ScoringContext],
+    k: int,
+    n: int,
+    d: Optional[int] = None,
+    mode: str = "tight",
+    key_scorer: str = "coverage",
+    nonkey_scorer: str = "coverage",
+    algorithm: str = "auto",
+) -> DiscoveryResult:
+    """Discover an optimal preview.
+
+    Parameters
+    ----------
+    data:
+        The entity graph (scores computed on the fly), a schema graph
+        (for aggregate-only scorers), or a prebuilt scoring context.
+    k, n:
+        Size constraint: ``k`` tables, at most ``n`` non-key attributes.
+    d, mode:
+        Optional distance constraint; ``mode`` is ``"tight"`` (pairwise
+        distance <= d) or ``"diverse"`` (>= d).
+    key_scorer, nonkey_scorer:
+        Scoring measure names; ignored when ``data`` is a context.
+    algorithm:
+        ``"auto"`` picks DP for concise and Apriori for tight/diverse,
+        the paper's recommended algorithms; any specific algorithm can be
+        forced (brute force supports every constraint type).
+
+    Raises
+    ------
+    InfeasiblePreviewError
+        When no preview satisfies the constraints.
+    DiscoveryError
+        For invalid algorithm/constraint combinations.
+    """
+    context = make_context(data, key_scorer=key_scorer, nonkey_scorer=nonkey_scorer)
+    size = SizeConstraint(k=k, n=n)
+    distance: Optional[DistanceConstraint] = None
+    if d is not None:
+        if mode == "tight":
+            distance = DistanceConstraint.tight(d)
+        elif mode == "diverse":
+            distance = DistanceConstraint.diverse(d)
+        else:
+            raise DiscoveryError(
+                f"mode must be 'tight' or 'diverse', got {mode!r}"
+            )
+
+    if algorithm not in ALGORITHMS:
+        raise DiscoveryError(
+            f"unknown algorithm {algorithm!r}; available: {', '.join(ALGORITHMS)}"
+        )
+    if algorithm == "auto":
+        algorithm = "dynamic-programming" if distance is None else "apriori"
+
+    if algorithm == "dynamic-programming":
+        if distance is not None:
+            raise DiscoveryError(
+                "the dynamic-programming algorithm only supports concise "
+                "previews (the optimal substructure breaks under distance "
+                "constraints, Sec. 5.2)"
+            )
+        result = dynamic_programming_discover(context, size)
+    elif algorithm == "apriori":
+        if distance is None:
+            raise DiscoveryError(
+                "the Apriori-style algorithm requires a distance constraint; "
+                "use the DP or brute-force algorithm for concise previews"
+            )
+        result = apriori_discover(context, size, distance)
+    elif algorithm == "branch-and-bound":
+        from .branch_bound import branch_and_bound_discover
+
+        result = branch_and_bound_discover(context, size, distance)
+    else:
+        result = brute_force_discover(context, size, distance)
+
+    if result is None:
+        constraint_text = f"k={k}, n={n}"
+        if distance is not None:
+            constraint_text += f", {mode} d={d}"
+        raise InfeasiblePreviewError(
+            f"no preview satisfies the constraints ({constraint_text})"
+        )
+    return result

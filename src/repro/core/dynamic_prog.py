@@ -1,0 +1,129 @@
+"""Dynamic-programming optimal *concise* preview discovery (Alg. 2).
+
+Order the ``K`` candidate key types arbitrarily.  Let ``best(i, j, x)`` be
+the best score of a preview with exactly ``i`` tables and at most ``j``
+non-key attributes drawn from the first ``x`` types.  The optimal
+substructure (Sec. 5.2):
+
+    best(i, j, x) = max( best(i, j, x-1),
+                         max_m best(i-1, j-m, x-1) + score(T_x^m) )
+
+where ``T_x^m`` is the table keyed on type ``x`` with its top-``m``
+candidates and ``1 <= m <= min(j - (i-1), |Γτx|)`` (every other table
+still needs one attribute).  Complexity ``O(K N log N + K k n^2)``.
+
+The substructure breaks under a distance constraint (a table's eligibility
+would depend on *which* earlier tables were chosen, not just how many), so
+this algorithm serves concise previews only — the paper makes the same
+point and routes tight/diverse discovery to Alg. 3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..scoring.preview_score import ScoringContext
+from .candidates import best_preview_for_keys, eligible_key_types
+from .constraints import SizeConstraint, validate_constraints
+from .preview import DiscoveryResult, Preview, PreviewTable
+
+_NEG_INF = float("-inf")
+
+
+def dynamic_programming_discover(
+    context: ScoringContext,
+    size: SizeConstraint,
+) -> Optional[DiscoveryResult]:
+    """Find an optimal concise preview in ``O(K k n^2)`` DP time.
+
+    Returns None when fewer than ``k`` types can key a table.  The DP
+    maximizes total score; the preview is reconstructed from per-state
+    choice records (``m`` attributes taken for type ``x``, or skip).
+    """
+    key_pool = eligible_key_types(context)
+    validate_constraints(size, None, key_pool)
+    k, n = size.k, size.n
+    big_k = len(key_pool)
+    if big_k < k:
+        return None
+
+    # Prefix table scores: table_score[x][m] = S(T_x^m) for m = 0..cap.
+    cap = size.max_attributes_per_table
+    table_score: List[List[float]] = []
+    for type_name in key_pool:
+        ranked = context.sorted_candidates(type_name)
+        key_weight = context.key_score(type_name)
+        scores = [0.0]
+        running = 0.0
+        for _attr, attr_score in ranked[:cap]:
+            running += attr_score
+            scores.append(key_weight * running)
+        table_score.append(scores)
+
+    # dp[i][j] = best score with exactly i tables, <= j attributes, over
+    # the first x types; choice[x][i][j] = m taken for type x-1 (0 = skip).
+    dp = [[_NEG_INF] * (n + 1) for _ in range(k + 1)]
+    for j in range(n + 1):
+        dp[0][j] = 0.0
+    choice = [
+        [[0] * (n + 1) for _ in range(k + 1)] for _ in range(big_k + 1)
+    ]
+
+    for x in range(1, big_k + 1):
+        scores_x = table_score[x - 1]
+        max_m = len(scores_x) - 1
+        # Iterate i downward so dp rows can be updated in place (each type
+        # is used at most once, like 0/1 knapsack).
+        for i in range(min(k, x), 0, -1):
+            row_prev = dp[i - 1]
+            row_cur = dp[i]
+            for j in range(n, i - 1, -1):
+                best = row_cur[j]
+                best_m = 0
+                m_hi = min(j - (i - 1), max_m)
+                for m in range(1, m_hi + 1):
+                    base = row_prev[j - m]
+                    if base == _NEG_INF:
+                        continue
+                    cand = base + scores_x[m]
+                    if cand > best:
+                        best = cand
+                        best_m = m
+                if best_m:
+                    row_cur[j] = best
+                choice[x][i][j] = best_m
+
+    if dp[k][n] == _NEG_INF:
+        return None
+
+    # Reconstruction: walk x from K down, replaying the in-place updates.
+    # Because rows were updated in place, choice[x][i][j] records the m
+    # chosen when type x was processed; if 0 the type was skipped.
+    tables: List[PreviewTable] = []
+    i, j = k, n
+    for x in range(big_k, 0, -1):
+        m = choice[x][i][j]
+        if m == 0 or i == 0:
+            continue
+        type_name = key_pool[x - 1]
+        ranked = context.sorted_candidates(type_name)
+        attrs = tuple(attr for attr, _score in ranked[:m])
+        tables.append(PreviewTable(key=type_name, nonkey=attrs))
+        i -= 1
+        j -= m
+        if i == 0:
+            break
+    if i != 0:
+        # Should be unreachable: dp said k tables fit.
+        return None
+    tables.reverse()
+    preview = Preview(tables=tuple(tables))
+    score = context.preview_score(preview.as_pairs())
+    return DiscoveryResult(
+        preview=preview,
+        score=score,
+        algorithm="dynamic-programming",
+        key_scorer=context.key_scorer_name,
+        nonkey_scorer=context.nonkey_scorer_name,
+        candidates_examined=big_k * k * n,
+    )

@@ -1,0 +1,140 @@
+"""Preview tables and previews (Definition 1).
+
+A :class:`PreviewTable` has a mandatory key attribute (an entity type) and
+at least one non-key attribute (a relationship type incident on the key
+type, in either orientation); it corresponds to a star-shaped subgraph of
+the schema graph.  A :class:`Preview` is a set of preview tables with
+pairwise-distinct key attributes.
+
+Both classes are immutable value objects; structural validation happens at
+construction so the discovery algorithms can pass them around freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..exceptions import DiscoveryError
+from ..model.attributes import NonKeyAttribute
+from ..model.ids import TypeId
+
+
+@dataclass(frozen=True)
+class PreviewTable:
+    """One preview table: a key attribute plus ordered non-key attributes."""
+
+    key: TypeId
+    nonkey: Tuple[NonKeyAttribute, ...]
+
+    def __post_init__(self) -> None:
+        if not self.nonkey:
+            raise DiscoveryError(
+                f"preview table {self.key!r} must have at least one non-key "
+                f"attribute (Definition 1)"
+            )
+        if len(set(self.nonkey)) != len(self.nonkey):
+            raise DiscoveryError(
+                f"preview table {self.key!r} has duplicate non-key attributes"
+            )
+        for attribute in self.nonkey:
+            if attribute.key_type() != self.key:
+                raise DiscoveryError(
+                    f"attribute {attribute} is not incident on key type "
+                    f"{self.key!r}"
+                )
+
+    @property
+    def width(self) -> int:
+        """Number of non-key attributes (the table's display width - 1)."""
+        return len(self.nonkey)
+
+    def __str__(self) -> str:
+        attrs = ", ".join(str(attribute) for attribute in self.nonkey)
+        return f"{self.key}[{attrs}]"
+
+
+@dataclass(frozen=True)
+class Preview:
+    """A preview: a tuple of preview tables with distinct key attributes."""
+
+    tables: Tuple[PreviewTable, ...]
+
+    def __post_init__(self) -> None:
+        keys = [table.key for table in self.tables]
+        if len(set(keys)) != len(keys):
+            raise DiscoveryError(
+                f"preview tables must have pairwise-distinct key attributes; "
+                f"got {keys}"
+            )
+
+    @classmethod
+    def of(cls, *tables: PreviewTable) -> "Preview":
+        return cls(tables=tuple(tables))
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[Tuple[TypeId, Iterable[NonKeyAttribute]]]
+    ) -> "Preview":
+        return cls(
+            tables=tuple(
+                PreviewTable(key=key, nonkey=tuple(attrs)) for key, attrs in pairs
+            )
+        )
+
+    @property
+    def table_count(self) -> int:
+        """``k`` — the number of preview tables."""
+        return len(self.tables)
+
+    @property
+    def attribute_count(self) -> int:
+        """Total non-key attributes across tables (bounded by ``n``)."""
+        return sum(table.width for table in self.tables)
+
+    def keys(self) -> List[TypeId]:
+        return [table.key for table in self.tables]
+
+    def table_for(self, key: TypeId) -> Optional[PreviewTable]:
+        for table in self.tables:
+            if table.key == key:
+                return table
+        return None
+
+    def as_pairs(self) -> List[Tuple[TypeId, Tuple[NonKeyAttribute, ...]]]:
+        """The shape :meth:`ScoringContext.preview_score` consumes."""
+        return [(table.key, table.nonkey) for table in self.tables]
+
+    def __iter__(self) -> Iterator[PreviewTable]:
+        return iter(self.tables)
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __str__(self) -> str:
+        return "; ".join(str(table) for table in self.tables)
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """A discovered preview with its score and bookkeeping metadata."""
+
+    preview: Preview
+    score: float
+    algorithm: str
+    key_scorer: str
+    nonkey_scorer: str
+    #: Number of candidate previews (k-subsets) the algorithm scored.
+    candidates_examined: int = 0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "score": self.score,
+            "tables": self.preview.table_count,
+            "attributes": self.preview.attribute_count,
+            "keys": self.preview.keys(),
+            "key_scorer": self.key_scorer,
+            "nonkey_scorer": self.nonkey_scorer,
+            "candidates_examined": self.candidates_examined,
+        }

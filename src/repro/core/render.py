@@ -1,0 +1,98 @@
+"""ASCII rendering of previews in the style of the paper's Fig. 2.
+
+Renders each preview table as a boxed grid: the key attribute heads the
+first column (underlined with ``=`` to mark it as the key, mirroring the
+paper's underline convention), non-key attributes head the remaining
+columns, and each sampled tuple becomes a row.  Multi-valued cells render
+as ``{a, b}``; empty cells render as ``-`` (as in Fig. 2's ``t3.Genres``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..model.entity_graph import EntityGraph
+from .materialize import (
+    DEFAULT_SAMPLE_SIZE,
+    MaterializedTable,
+    materialize_preview,
+)
+from .preview import Preview
+
+#: Cell text used for empty attribute values.
+EMPTY_CELL = "-"
+#: Hard cap on rendered cell width before truncation.
+MAX_CELL_WIDTH = 40
+
+
+def format_value(value: frozenset) -> str:
+    """Render a value set: ``-`` empty, bare for singleton, ``{..}`` else."""
+    if not value:
+        return EMPTY_CELL
+    items = sorted(value)
+    if len(items) == 1:
+        return _truncate(items[0])
+    return _truncate("{" + ", ".join(items) + "}")
+
+
+def _truncate(text: str) -> str:
+    if len(text) <= MAX_CELL_WIDTH:
+        return text
+    return text[: MAX_CELL_WIDTH - 1] + "…"
+
+
+def render_materialized_table(mat: MaterializedTable) -> str:
+    """Render one materialized table as an ASCII grid."""
+    headers = [mat.table.key] + [str(attr) for attr in mat.table.nonkey]
+    headers = [_truncate(h) for h in headers]
+    rows: List[List[str]] = []
+    for row in mat.rows:
+        cells = [_truncate(row.key_entity)]
+        cells.extend(format_value(value) for value in row.values)
+        rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    key_marker = format_row(
+        ["=" * widths[0]] + [" " * w for w in widths[1:]]
+    )
+    lines = [separator, format_row(headers), key_marker, separator]
+    for cells in rows:
+        lines.append(format_row(cells))
+    lines.append(separator)
+    if mat.total_tuples > mat.shown:
+        lines.append(f"({mat.shown} of {mat.total_tuples} tuples shown)")
+    return "\n".join(lines)
+
+
+def render_preview(
+    preview: Preview,
+    entity_graph: Optional[EntityGraph] = None,
+    sample_size: Optional[int] = DEFAULT_SAMPLE_SIZE,
+    seed: int = 0,
+) -> str:
+    """Render a preview; with an entity graph, include sampled tuples.
+
+    Without an entity graph, renders the schema-level shape only (key and
+    non-key attribute names), which is what schema-only contexts can show.
+    """
+    if entity_graph is None:
+        lines = []
+        for table in preview.tables:
+            attrs = ", ".join(str(attr) for attr in table.nonkey)
+            lines.append(f"[{table.key}] {attrs}")
+        return "\n".join(lines)
+    blocks = [
+        render_materialized_table(mat)
+        for mat in materialize_preview(
+            entity_graph, preview, sample_size=sample_size, seed=seed
+        )
+    ]
+    return "\n\n".join(blocks)

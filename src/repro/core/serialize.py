@@ -1,0 +1,131 @@
+"""JSON (de)serialization for previews and discovery results.
+
+Previews are the library's hand-off artifact — a catalog service
+generates them offline and ships them to browsing clients — so they need
+a stable, versioned wire format.  The format is plain JSON:
+
+```json
+{
+  "version": 1,
+  "tables": [
+    {"key": "FILM",
+     "nonkey": [{"name": "Genres", "source": "FILM",
+                 "target": "FILM GENRE", "direction": "out"}]}
+  ]
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..exceptions import DiscoveryError
+from ..model.attributes import Direction, NonKeyAttribute
+from ..model.ids import RelationshipTypeId
+from .preview import DiscoveryResult, Preview, PreviewTable
+
+#: Current wire-format version.
+FORMAT_VERSION = 1
+
+
+def attribute_to_dict(attribute: NonKeyAttribute) -> Dict[str, str]:
+    rel = attribute.rel_type
+    return {
+        "name": rel.name,
+        "source": rel.source_type,
+        "target": rel.target_type,
+        "direction": attribute.direction.value,
+    }
+
+
+def attribute_from_dict(data: Dict[str, Any]) -> NonKeyAttribute:
+    try:
+        rel = RelationshipTypeId(
+            name=data["name"],
+            source_type=data["source"],
+            target_type=data["target"],
+        )
+        direction = Direction(data["direction"])
+    except (KeyError, ValueError) as exc:
+        raise DiscoveryError(f"malformed attribute record {data!r}: {exc}") from exc
+    return NonKeyAttribute(rel_type=rel, direction=direction)
+
+
+def preview_to_dict(preview: Preview) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "tables": [
+            {
+                "key": table.key,
+                "nonkey": [attribute_to_dict(attr) for attr in table.nonkey],
+            }
+            for table in preview.tables
+        ],
+    }
+
+
+def preview_from_dict(data: Dict[str, Any]) -> Preview:
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise DiscoveryError(
+            f"unsupported preview format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        tables = tuple(
+            PreviewTable(
+                key=record["key"],
+                nonkey=tuple(
+                    attribute_from_dict(attr) for attr in record["nonkey"]
+                ),
+            )
+            for record in data["tables"]
+        )
+    except KeyError as exc:
+        raise DiscoveryError(f"malformed preview record: missing {exc}") from exc
+    return Preview(tables=tables)
+
+
+def preview_to_json(preview: Preview, indent: int = 2) -> str:
+    return json.dumps(preview_to_dict(preview), indent=indent, sort_keys=True)
+
+
+def preview_from_json(text: str) -> Preview:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DiscoveryError(f"invalid preview JSON: {exc}") from exc
+    return preview_from_dict(data)
+
+
+def result_to_dict(result: DiscoveryResult) -> Dict[str, Any]:
+    """Discovery result with provenance (scorers, algorithm, score)."""
+    payload = preview_to_dict(result.preview)
+    payload["discovery"] = {
+        "score": result.score,
+        "algorithm": result.algorithm,
+        "key_scorer": result.key_scorer,
+        "nonkey_scorer": result.nonkey_scorer,
+        "candidates_examined": result.candidates_examined,
+    }
+    return payload
+
+
+def result_from_dict(data: Dict[str, Any]) -> DiscoveryResult:
+    preview = preview_from_dict(data)
+    meta = data.get("discovery")
+    if not isinstance(meta, dict):
+        raise DiscoveryError("missing 'discovery' metadata block")
+    try:
+        return DiscoveryResult(
+            preview=preview,
+            score=float(meta["score"]),
+            algorithm=str(meta["algorithm"]),
+            key_scorer=str(meta["key_scorer"]),
+            nonkey_scorer=str(meta["nonkey_scorer"]),
+            candidates_examined=int(meta.get("candidates_examined", 0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DiscoveryError(f"malformed discovery metadata: {exc}") from exc

@@ -1,0 +1,129 @@
+"""Enumerating *all* optimal previews under score ties.
+
+Both Alg. 1 and Alg. 2 in the paper "are for finding one optimal preview.
+Finding all optimal previews requires simple extension to deal with ties
+in scores, which we will not further discuss."  This module supplies that
+extension:
+
+* :func:`all_optimal_previews` enumerates every preview attaining the
+  maximum score, handling ties at **both** levels where they arise:
+
+  1. between different key-attribute subsets whose best allocations score
+     equally, and
+  2. within one table, where candidate non-key attributes tie at the
+     selection boundary (Theorem 3 only pins the *scores* of the chosen
+     prefix, not its identity — any same-score swap at the boundary is
+     also optimal).
+
+Scores are compared with a relative tolerance to absorb floating-point
+noise in score arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..scoring.preview_score import ScoringContext
+from .candidates import best_preview_for_keys, eligible_key_types
+from .constraints import DistanceConstraint, SizeConstraint, validate_constraints
+from .preview import Preview, PreviewTable
+
+#: Relative tolerance for "equal" scores.
+SCORE_TOLERANCE = 1e-9
+
+
+def _scores_equal(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=SCORE_TOLERANCE, abs_tol=1e-12)
+
+
+def _attribute_variants(
+    context: ScoringContext, key: str, width: int
+) -> Iterator[Tuple]:
+    """All same-score variants of the top-``width`` candidate prefix.
+
+    The sorted candidate list may contain a *tie group* straddling the
+    prefix boundary; every way of filling the boundary slots from that
+    group yields an equally scored table.
+    """
+    ranked = context.sorted_candidates(key)
+    if width > len(ranked):
+        return
+    if width == 0:
+        yield ()
+        return
+    boundary_score = ranked[width - 1][1]
+    # Attributes strictly above the boundary are always included.
+    fixed = [attr for attr, score in ranked[:width] if not _scores_equal(score, boundary_score)]
+    tied = [attr for attr, score in ranked if _scores_equal(score, boundary_score)]
+    slots = width - len(fixed)
+    seen = set()
+    for combo in combinations(tied, slots):
+        variant = tuple(fixed) + combo
+        if variant not in seen:
+            seen.add(variant)
+            yield variant
+
+
+def all_optimal_previews(
+    context: ScoringContext,
+    size: SizeConstraint,
+    distance: Optional[DistanceConstraint] = None,
+    limit: int = 1000,
+) -> List[Preview]:
+    """Every optimal preview (up to ``limit``), brute-force based.
+
+    Enumerates key subsets exactly like Alg. 1, keeps all subsets tying
+    the best score, then expands per-table boundary-tie variants.  The
+    ``limit`` guards against pathological all-equal-score inputs (e.g.
+    the NP-hardness constructions, where *every* preview ties at score
+    zero).
+    """
+    key_pool = eligible_key_types(context)
+    validate_constraints(size, distance, key_pool)
+    oracle = context.schema.distance_oracle() if distance is not None else None
+
+    best_score = float("-inf")
+    best: List[Tuple[Tuple[str, ...], Preview, float]] = []
+    for keys in combinations(key_pool, size.k):
+        if distance is not None and not distance.keys_ok(oracle, keys):
+            continue
+        allocation = best_preview_for_keys(context, keys, size)
+        if allocation is None:
+            continue
+        preview, score = allocation
+        if score > best_score and not _scores_equal(score, best_score):
+            best_score = score
+            best = [(keys, preview, score)]
+        elif _scores_equal(score, best_score):
+            best.append((keys, preview, score))
+
+    results: List[Preview] = []
+    emitted = set()
+    for _keys, preview, _score in best:
+        # Expand boundary ties per table, cartesian across tables.
+        variants_per_table: List[List[PreviewTable]] = []
+        for table in preview.tables:
+            variants = [
+                PreviewTable(key=table.key, nonkey=variant)
+                for variant in _attribute_variants(context, table.key, table.width)
+            ]
+            variants_per_table.append(variants or [table])
+        stack: List[Tuple[int, Tuple[PreviewTable, ...]]] = [(0, ())]
+        while stack:
+            index, prefix = stack.pop()
+            if index == len(variants_per_table):
+                candidate = Preview(tables=prefix)
+                fingerprint = tuple(
+                    (t.key, frozenset(t.nonkey)) for t in candidate.tables
+                )
+                if fingerprint not in emitted:
+                    emitted.add(fingerprint)
+                    results.append(candidate)
+                    if len(results) >= limit:
+                        return results
+                continue
+            for variant in variants_per_table[index]:
+                stack.append((index + 1, prefix + (variant,)))
+    return results

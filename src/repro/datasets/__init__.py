@@ -1,0 +1,58 @@
+"""Datasets: synthetic Freebase-like domains, gold standards, loaders."""
+
+from .freebase_like import (
+    DOMAINS,
+    GOLD_DOMAINS,
+    generate_domain,
+    load_domain,
+    load_schema,
+    table2_row,
+)
+from .gold_standard import (
+    EXPERT_KEY_ATTRIBUTES,
+    GOLD_STANDARD,
+    expert_key_attributes,
+    gold_key_attributes,
+    gold_nonkey_attributes,
+    gold_size_constraint,
+)
+from .loader import load_domain_file, save_domain
+from .profiles import (
+    DEFAULT_SCALE,
+    FREEBASE_PROFILES,
+    DomainProfile,
+    NamedRelationship,
+)
+from .synthetic import (
+    allocate_counts,
+    random_entity_graph,
+    random_schema_graph,
+    skewed_index,
+    zipf_weights,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "DOMAINS",
+    "DomainProfile",
+    "EXPERT_KEY_ATTRIBUTES",
+    "FREEBASE_PROFILES",
+    "GOLD_DOMAINS",
+    "GOLD_STANDARD",
+    "NamedRelationship",
+    "allocate_counts",
+    "expert_key_attributes",
+    "generate_domain",
+    "gold_key_attributes",
+    "gold_nonkey_attributes",
+    "gold_size_constraint",
+    "load_domain",
+    "load_domain_file",
+    "load_schema",
+    "random_entity_graph",
+    "random_schema_graph",
+    "save_domain",
+    "skewed_index",
+    "table2_row",
+    "zipf_weights",
+]

@@ -1,0 +1,43 @@
+"""Save/load Freebase-like domains through the triple-store formats.
+
+Lets users materialize a generated domain to disk once and reload it
+without regeneration — the workflow the paper's MySQL import supports.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from ..exceptions import DatasetError
+from ..model.entity_graph import EntityGraph
+from ..store.persistence import load_jsonl, load_tsv, save_jsonl, save_tsv
+from ..store.schema_extract import entity_graph_from_store, store_from_entity_graph
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_domain(graph: EntityGraph, path: PathLike) -> int:
+    """Persist an entity graph; format chosen by extension (.tsv/.jsonl).
+
+    Returns the number of rows written.
+    """
+    text = str(path)
+    store = store_from_entity_graph(graph)
+    if text.endswith(".tsv"):
+        return save_tsv(store, path)
+    if text.endswith(".jsonl"):
+        return save_jsonl(store, path)
+    raise DatasetError(f"unsupported dataset extension: {text!r} (use .tsv/.jsonl)")
+
+
+def load_domain_file(path: PathLike, name: str = "entity-graph") -> EntityGraph:
+    """Reload an entity graph saved by :func:`save_domain`."""
+    text = str(path)
+    if text.endswith(".tsv"):
+        store = load_tsv(path)
+    elif text.endswith(".jsonl"):
+        store = load_jsonl(path)
+    else:
+        raise DatasetError(f"unsupported dataset extension: {text!r} (use .tsv/.jsonl)")
+    return entity_graph_from_store(store, name=name)

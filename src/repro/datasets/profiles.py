@@ -1,0 +1,477 @@
+"""Domain profiles for the synthetic Freebase-like datasets.
+
+Each profile pins the *schema-graph size* to the paper's Table 2 exactly
+(K entity types, N relationship types) and scales the entity-graph size
+down by :data:`DEFAULT_SCALE` (the algorithms' complexity is driven by
+the schema size, which we match; the entity graph only feeds aggregate
+counts and tuple materialization).
+
+Profiles enumerate the *named* types and relationships — the gold-standard
+entrance-page types (Table 10), the expert-preview types (Tables 22/23)
+and the types appearing in the paper's sample previews (Tables 11/12) —
+in descending importance order.  The generator fills the remainder with
+deterministic filler types/relationships and assigns Zipfian populations
+and edge counts with bounded noise, so that gold types/attributes rank
+highly (the premise the paper's accuracy evaluation rests on) without the
+ranking being trivially perfect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .gold_standard import GOLD_STANDARD
+
+#: Entity/edge counts are the paper's Table 2 divided by this factor.
+DEFAULT_SCALE = 1000
+
+
+@dataclass(frozen=True)
+class NamedRelationship:
+    """A hand-authored relationship type: name plus endpoint types."""
+
+    name: str
+    source: str
+    target: str
+
+
+@dataclass(frozen=True)
+class DomainProfile:
+    """Static description of one Freebase-like domain."""
+
+    name: str
+    #: Table 2: number of entity types (schema vertices).
+    entity_type_count: int
+    #: Table 2: number of relationship types (schema edges).
+    relationship_type_count: int
+    #: Table 2: entity count before scaling.
+    paper_entities: int
+    #: Table 2: relationship count before scaling.
+    paper_relationships: int
+    #: Prominent types in descending importance order (gold types first).
+    named_types: Tuple[str, ...]
+    #: Hand-authored relationships in descending importance order.
+    named_relationships: Tuple[NamedRelationship, ...]
+
+    def scaled_entities(self, scale: int = DEFAULT_SCALE) -> int:
+        return max(self.entity_type_count * 3, self.paper_entities // scale)
+
+    def scaled_relationships(self, scale: int = DEFAULT_SCALE) -> int:
+        return max(
+            self.relationship_type_count * 4, self.paper_relationships // scale
+        )
+
+    def filler_type_count(self) -> int:
+        return self.entity_type_count - len(self.named_types)
+
+    def filler_relationship_count(self) -> int:
+        return self.relationship_type_count - len(self.named_relationships)
+
+
+def _rel(name: str, source: str, target: str) -> NamedRelationship:
+    return NamedRelationship(name=name, source=source, target=target)
+
+
+def _gold_relationships(domain: str, targets: Dict[str, str]) -> List[NamedRelationship]:
+    """Gold attributes (Table 10) as relationships sourced at the key type.
+
+    ``targets`` maps each gold attribute name to its value type; attributes
+    absent from the map point at the domain's generic value type.
+    """
+    default_target = f"{domain.upper()} TOPIC"
+    rels = []
+    for key_type, attrs in GOLD_STANDARD[domain].items():
+        for attr in attrs:
+            rels.append(
+                _rel(attr, key_type, targets.get(attr, default_target))
+            )
+    return rels
+
+
+# ----------------------------------------------------------------------
+# film — K=63, N=136; types from Tables 10-12.
+# ----------------------------------------------------------------------
+_FILM_TYPES = (
+    "FILM",
+    "FILM ACTOR",
+    "FILM GENRE",
+    "FILM DIRECTOR",
+    "FILM PRODUCER",
+    "FILM WRITER",
+    "FILM CHARACTER",
+    "FILM CREWMEMBER",
+    "FILM EDITOR",
+    "FILM FESTIVAL",
+    "FILM COMPANY",
+    "FILM CUT",
+    "COUNTRY",
+    "HUMAN LANGUAGE",
+    "FILM CREW ROLE",
+    "PERSON OR ENTITY APPEARING IN FILM",
+    "TYPE OF APPEARANCE",
+    "FILM FESTIVAL EVENT",
+    "LOCATION",
+    "FILM FESTIVAL FOCUS",
+    "SPONSOR",
+    "TAGLINE",
+    "RELEASE DATE",
+    "FILM TOPIC",
+)
+
+_FILM_RELS = tuple(
+    _gold_relationships(
+        "film",
+        {
+            "Directed By": "FILM DIRECTOR",
+            "Tagline": "TAGLINE",
+            "Initial Release Date": "RELEASE DATE",
+            "Film Performances": "FILM",
+            "Films Of This Genre": "FILM",
+            "Films Directed": "FILM",
+            "Films Executive Produced": "FILM",
+            "Films Produced": "FILM",
+            "Film Writing Credits": "FILM",
+        },
+    )
+) + (
+    _rel("Performances", "FILM", "FILM ACTOR"),
+    _rel("Genres", "FILM", "FILM GENRE"),
+    _rel("Runtime", "FILM", "FILM CUT"),
+    _rel("Country Of Origin", "FILM", "COUNTRY"),
+    _rel("Languages", "FILM", "HUMAN LANGUAGE"),
+    _rel("Portrayed In Films", "FILM CHARACTER", "FILM"),
+    _rel("Portrayed In Films (Dubbed)", "FILM CHARACTER", "FILM"),
+    _rel("Films Crewed", "FILM CREWMEMBER", "FILM"),
+    _rel("Crew Role", "FILM CREWMEMBER", "FILM CREW ROLE"),
+    _rel("Films Edited", "FILM EDITOR", "FILM"),
+    _rel("Films Appeared In", "PERSON OR ENTITY APPEARING IN FILM", "FILM"),
+    _rel("Appearance Type", "PERSON OR ENTITY APPEARING IN FILM", "TYPE OF APPEARANCE"),
+    _rel("Individual Festivals", "FILM FESTIVAL", "FILM FESTIVAL EVENT"),
+    _rel("Festival Location", "FILM FESTIVAL", "LOCATION"),
+    _rel("Focus", "FILM FESTIVAL", "FILM FESTIVAL FOCUS"),
+    _rel("Sponsoring Organization", "FILM FESTIVAL", "SPONSOR"),
+    _rel("Films", "FILM COMPANY", "FILM"),
+)
+
+# ----------------------------------------------------------------------
+# music — K=69, N=176; types from Tables 10-11.
+# ----------------------------------------------------------------------
+_MUSIC_TYPES = (
+    "MUSICAL ARTIST",
+    "MUSICAL ALBUM",
+    "MUSICAL RECORDING",
+    "COMPOSITION",
+    "CONCERT",
+    "MUSIC VIDEO",
+    "MUSICAL RELEASE",
+    "RELEASE TRACK",
+    "MUSICAL ALBUM TYPE",
+    "MUSICAL GENRE",
+    "CONCERT TOUR",
+    "VENUE",
+    "LYRICIST",
+    "COMPOSER",
+    "RECORD LABEL",
+    "DATE",
+    "MUSIC TOPIC",
+)
+
+# In Freebase's music domain the recording/release/track cluster carries
+# the overwhelming majority of the 187M relationships (the paper's
+# Table 11 random-walk preview is exactly that cluster), so those
+# relationship types take the top importance ranks, ahead of the gold
+# entrance-page attributes.
+_MUSIC_RELS = (
+    _rel("Releases", "MUSICAL RECORDING", "MUSICAL RELEASE"),
+    _rel("Tracks", "MUSICAL RECORDING", "RELEASE TRACK"),
+    _rel("Release Tracks", "MUSICAL RELEASE", "MUSICAL RECORDING"),
+    _rel("Track List", "MUSICAL RELEASE", "RELEASE TRACK"),
+    _rel("Release", "RELEASE TRACK", "MUSICAL RELEASE"),
+    _rel("Recording", "RELEASE TRACK", "MUSICAL RECORDING"),
+    _rel("Tracks Recorded", "MUSICAL ARTIST", "MUSICAL RECORDING"),
+    _rel("Album Releases", "MUSICAL ALBUM", "MUSICAL RELEASE"),
+    _rel("Label", "MUSICAL ALBUM", "RECORD LABEL"),
+) + tuple(
+    _gold_relationships(
+        "music",
+        {
+            "Includes": "COMPOSITION",
+            "Lyricist": "LYRICIST",
+            "Composer": "COMPOSER",
+            "Venue": "VENUE",
+            "Start Date": "DATE",
+            "Concert Tour": "CONCERT TOUR",
+            "Song": "MUSICAL RECORDING",
+            "Initial Release Date": "DATE",
+            "Artist": "MUSICAL ARTIST",
+            "Release Type": "MUSICAL ALBUM TYPE",
+            "Albums": "MUSICAL ALBUM",
+            "Place Musical Career Began": "MUSIC TOPIC",
+            "Musical Genres": "MUSICAL GENRE",
+            "Length": "MUSIC TOPIC",
+            "Featured Artists": "MUSICAL ARTIST",
+            "Recorded By": "MUSICAL ARTIST",
+        },
+    )
+)
+
+# ----------------------------------------------------------------------
+# tv — K=59, N=177; types from Tables 10-11.
+# ----------------------------------------------------------------------
+_TV_TYPES = (
+    "TV PROGRAM",
+    "TV ACTOR",
+    "TV EPISODE",
+    "TV SEASON",
+    "TV CHARACTER",
+    "TV WRITER",
+    "TV PRODUCER",
+    "TV DIRECTOR",
+    "TV NETWORK",
+    "PERSON",
+    "PERSONAL APPEARANCE ROLE",
+    "TV CREATOR",
+    "AIR DATE",
+    "TV TOPIC",
+)
+
+_TV_RELS = tuple(
+    _gold_relationships(
+        "tv",
+        {
+            "Program Creator": "TV CREATOR",
+            "Air Date Of First Episode": "AIR DATE",
+            "Air Date Of Final Episode": "AIR DATE",
+            "Starring TV Roles": "TV CHARACTER",
+            "Programs In Which This Was A Regular Character": "TV PROGRAM",
+            "TV Programs (Recurring Writer)": "TV PROGRAM",
+            "TV Programs Produced": "TV PROGRAM",
+            "TV Episodes Directed": "TV EPISODE",
+            "TV Segments Directed": "TV EPISODE",
+        },
+    )
+) + (
+    _rel("Previous Episode", "TV EPISODE", "TV EPISODE"),
+    _rel("Next Episode", "TV EPISODE", "TV EPISODE"),
+    _rel("Episode Performances", "TV EPISODE", "TV ACTOR"),
+    _rel("Season", "TV EPISODE", "TV SEASON"),
+    _rel("Series", "TV EPISODE", "TV PROGRAM"),
+    _rel("Personal Appearances", "TV EPISODE", "PERSON"),
+    _rel("Appearance Role", "TV EPISODE", "PERSONAL APPEARANCE ROLE"),
+    _rel("Regular Acting Performances", "TV PROGRAM", "TV ACTOR"),
+    _rel("Episodes", "TV SEASON", "TV EPISODE"),
+    _rel("TV Episode Performances", "TV ACTOR", "TV EPISODE"),
+    _rel("Network", "TV PROGRAM", "TV NETWORK"),
+)
+
+# ----------------------------------------------------------------------
+# books — K=91, N=201.
+# ----------------------------------------------------------------------
+_BOOKS_TYPES = (
+    "BOOK",
+    "BOOK EDITION",
+    "AUTHOR",
+    "SHORT STORY",
+    "POEM",
+    "SHORT NON-FICTION",
+    "BOOK CHARACTER",
+    "LITERARY SERIES",
+    "PUBLISHER",
+    "BOOK GENRE",
+    "METER",
+    "VERSE FORM",
+    "MODE OF WRITING",
+    "PUBLICATION DATE",
+    "BOOKS TOPIC",
+)
+
+_BOOKS_RELS = tuple(
+    _gold_relationships(
+        "books",
+        {
+            "Characters": "BOOK CHARACTER",
+            "Genre": "BOOK GENRE",
+            "Editions": "BOOK EDITION",
+            "Publication Date": "PUBLICATION DATE",
+            "Publisher": "PUBLISHER",
+            "Credited To": "AUTHOR",
+            "Meter": "METER",
+            "Verse Form": "VERSE FORM",
+            "Mode Of Writing": "MODE OF WRITING",
+            "Series Written (Or Contributed To)": "LITERARY SERIES",
+            "Works Edited": "BOOK",
+            "Works Written": "BOOK",
+        },
+    )
+) + (
+    _rel("Books In This Series", "LITERARY SERIES", "BOOK"),
+    _rel("Books Published", "PUBLISHER", "BOOK EDITION"),
+    _rel("Appears In Books", "BOOK CHARACTER", "BOOK"),
+    _rel("Books Of This Genre", "BOOK GENRE", "BOOK"),
+)
+
+# ----------------------------------------------------------------------
+# people — K=45, N=78.
+# ----------------------------------------------------------------------
+_PEOPLE_TYPES = (
+    "PERSON",
+    "DECEASED PERSON",
+    "PROFESSION",
+    "ETHNICITY",
+    "CAUSE OF DEATH",
+    "PROFESSIONAL FIELD",
+    "FAMILY",
+    "PLACE OF BIRTH",
+    "NOBLE TITLE",
+    "COUNTRY",
+    "DATE",
+    "LOCATION",
+    "PEOPLE TOPIC",
+)
+
+_PEOPLE_RELS = tuple(
+    _gold_relationships(
+        "people",
+        {
+            "Profession": "PROFESSION",
+            "Country Of Nationality": "COUNTRY",
+            "Date Of Birth": "DATE",
+            "Cause Of Death": "CAUSE OF DEATH",
+            "Place Of Death": "LOCATION",
+            "Date Of Death": "DATE",
+            "People Who Died This Way": "DECEASED PERSON",
+            "Includes Causes Of Death": "CAUSE OF DEATH",
+            "Parent Cause Of Death": "CAUSE OF DEATH",
+            "Geographic Distribution": "LOCATION",
+            "Includes Group(S)": "ETHNICITY",
+            "Included In Group(S)": "ETHNICITY",
+            "Specializations": "PROFESSION",
+            "Specialization Of": "PROFESSION",
+            "People With This Profession": "PERSON",
+            "Professions In This Field": "PROFESSION",
+        },
+    )
+) + (
+    _rel("Members", "FAMILY", "PERSON"),
+    _rel("People Born Here", "PLACE OF BIRTH", "PERSON"),
+    _rel("Holders", "NOBLE TITLE", "PERSON"),
+)
+
+# ----------------------------------------------------------------------
+# basketball — K=6, N=21 (efficiency experiments, Fig. 8 "B").
+# ----------------------------------------------------------------------
+_BASKETBALL_TYPES = (
+    "BASKETBALL PLAYER",
+    "BASKETBALL TEAM",
+    "BASKETBALL COACH",
+    "BASKETBALL POSITION",
+    "BASKETBALL CONFERENCE",
+    "BASKETBALL ROSTER POSITION",
+)
+
+_BASKETBALL_RELS = (
+    _rel("Players", "BASKETBALL TEAM", "BASKETBALL PLAYER"),
+    _rel("Position", "BASKETBALL PLAYER", "BASKETBALL POSITION"),
+    _rel("Head Coach", "BASKETBALL TEAM", "BASKETBALL COACH"),
+    _rel("Teams Coached", "BASKETBALL COACH", "BASKETBALL TEAM"),
+    _rel("Conference", "BASKETBALL TEAM", "BASKETBALL CONFERENCE"),
+    _rel("Roster", "BASKETBALL TEAM", "BASKETBALL ROSTER POSITION"),
+    _rel("Roster Player", "BASKETBALL ROSTER POSITION", "BASKETBALL PLAYER"),
+    _rel("Roster Position", "BASKETBALL ROSTER POSITION", "BASKETBALL POSITION"),
+)
+
+# ----------------------------------------------------------------------
+# architecture — K=23, N=48 (efficiency experiments, Fig. 8 "A").
+# ----------------------------------------------------------------------
+_ARCHITECTURE_TYPES = (
+    "BUILDING",
+    "ARCHITECT",
+    "ARCHITECTURAL STYLE",
+    "BUILDING FUNCTION",
+    "STRUCTURE",
+    "ENGINEER",
+    "BUILDING COMPLEX",
+    "ARCHITECTURE FIRM",
+    "LOCATION",
+    "ARCHITECTURE TOPIC",
+)
+
+_ARCHITECTURE_RELS = (
+    _rel("Structures Designed", "ARCHITECT", "STRUCTURE"),
+    _rel("Architectural Style", "BUILDING", "ARCHITECTURAL STYLE"),
+    _rel("Building Function", "BUILDING", "BUILDING FUNCTION"),
+    _rel("Buildings", "BUILDING COMPLEX", "BUILDING"),
+    _rel("Firm", "ARCHITECT", "ARCHITECTURE FIRM"),
+    _rel("Projects", "ARCHITECTURE FIRM", "STRUCTURE"),
+    _rel("Structures Engineered", "ENGINEER", "STRUCTURE"),
+    _rel("Location", "STRUCTURE", "LOCATION"),
+)
+
+
+#: All seven domains, keyed by the names used throughout the paper.
+FREEBASE_PROFILES: Dict[str, DomainProfile] = {
+    "books": DomainProfile(
+        name="books",
+        entity_type_count=91,
+        relationship_type_count=201,
+        paper_entities=6_000_000,
+        paper_relationships=15_000_000,
+        named_types=_BOOKS_TYPES,
+        named_relationships=_BOOKS_RELS,
+    ),
+    "film": DomainProfile(
+        name="film",
+        entity_type_count=63,
+        relationship_type_count=136,
+        paper_entities=2_000_000,
+        paper_relationships=18_000_000,
+        named_types=_FILM_TYPES,
+        named_relationships=_FILM_RELS,
+    ),
+    "music": DomainProfile(
+        name="music",
+        entity_type_count=69,
+        relationship_type_count=176,
+        paper_entities=27_000_000,
+        paper_relationships=187_000_000,
+        named_types=_MUSIC_TYPES,
+        named_relationships=_MUSIC_RELS,
+    ),
+    "tv": DomainProfile(
+        name="tv",
+        entity_type_count=59,
+        relationship_type_count=177,
+        paper_entities=2_000_000,
+        paper_relationships=17_000_000,
+        named_types=_TV_TYPES,
+        named_relationships=_TV_RELS,
+    ),
+    "people": DomainProfile(
+        name="people",
+        entity_type_count=45,
+        relationship_type_count=78,
+        paper_entities=3_000_000,
+        paper_relationships=17_000_000,
+        named_types=_PEOPLE_TYPES,
+        named_relationships=_PEOPLE_RELS,
+    ),
+    "basketball": DomainProfile(
+        name="basketball",
+        entity_type_count=6,
+        relationship_type_count=21,
+        paper_entities=19_000,
+        paper_relationships=557_000,
+        named_types=_BASKETBALL_TYPES,
+        named_relationships=_BASKETBALL_RELS,
+    ),
+    "architecture": DomainProfile(
+        name="architecture",
+        entity_type_count=23,
+        relationship_type_count=48,
+        paper_entities=133_000,
+        paper_relationships=432_000,
+        named_types=_ARCHITECTURE_TYPES,
+        named_relationships=_ARCHITECTURE_RELS,
+    ),
+}

@@ -1,0 +1,52 @@
+"""Pearson correlation coefficient (Eq. 4) and effect-size bands.
+
+The crowd study (Sec. 6.1.3) correlates two 50-element lists — rank
+differences under a scoring measure vs. vote differences from workers —
+with the PCC, interpreting [0.5, 1.0] as strong, [0.3, 0.5) as medium and
+[0.1, 0.3) as small positive correlation (Cohen's conventions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..exceptions import EvaluationError
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """PCC of two equal-length sequences (Eq. 4).
+
+    Returns 0.0 when either sequence has zero variance (no linear
+    relationship is expressible), matching common statistical-package
+    behaviour for degenerate inputs.
+    """
+    if len(x) != len(y):
+        raise EvaluationError(
+            f"sequences must have equal length, got {len(x)} and {len(y)}"
+        )
+    n = len(x)
+    if n == 0:
+        raise EvaluationError("sequences must be non-empty")
+    mean_x = sum(x) / n
+    mean_y = sum(y) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(x, y)) / n
+    var_x = sum((a - mean_x) ** 2 for a in x) / n
+    var_y = sum((b - mean_y) ** 2 for b in y) / n
+    if var_x <= 0.0 or var_y <= 0.0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def correlation_strength(pcc: float) -> str:
+    """Cohen's qualitative band for a PCC value (as quoted in Sec. 6.1.3)."""
+    magnitude = abs(pcc)
+    if magnitude >= 0.5:
+        band = "strong"
+    elif magnitude >= 0.3:
+        band = "medium"
+    elif magnitude >= 0.1:
+        band = "small"
+    else:
+        return "negligible"
+    return band if pcc > 0 else f"{band} negative"

@@ -1,0 +1,172 @@
+"""Existence-test questions and approach presentations (Sec. 6.3.1).
+
+The user study asks Boolean questions of the form "Based on this schema
+summary, I know the dataset provides the awards of a musician" — i.e.
+whether a specific (entity type, relationship) fact exists.  This module
+provides:
+
+* :class:`Fact` — the unit of schema knowledge a summary can convey
+  (an entity type, or an attribute of an entity type);
+* :class:`ApproachPresentation` — what one approach actually shows a
+  participant: its fact set, its display size (the reading-effort driver)
+  and whether it shows *all* attributes of the types it includes;
+* :func:`generate_questions` — a seeded question generator producing the
+  paper's mix: positive facts (weighted toward prominent relationships,
+  which is what study designers ask about) and fabricated negatives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..baselines.schema_graph_baseline import present_schema_graph
+from ..baselines.yps09.summarizer import YPS09Summary
+from ..core.preview import Preview
+from ..exceptions import EvaluationError
+from ..model.ids import TypeId
+from ..model.schema_graph import SchemaGraph
+
+#: ("type", entity type) or ("attr", entity type, attribute surface name).
+Fact = Union[Tuple[str, TypeId], Tuple[str, TypeId, str]]
+
+
+def type_fact(type_name: TypeId) -> Fact:
+    return ("type", type_name)
+
+
+def attr_fact(type_name: TypeId, attr_name: str) -> Fact:
+    return ("attr", type_name, attr_name)
+
+
+@dataclass(frozen=True)
+class ApproachPresentation:
+    """What a participant sees when using one approach."""
+
+    name: str
+    facts: FrozenSet[Fact]
+    display_items: int
+    #: True when every included type shows all of its attributes
+    #: (YPS09 tables and the raw schema graph do; previews do not).
+    full_coverage: bool
+
+    def shows(self, fact: Fact) -> bool:
+        return fact in self.facts
+
+    def shows_type(self, type_name: TypeId) -> bool:
+        return ("type", type_name) in self.facts
+
+
+def presentation_from_preview(name: str, preview: Preview) -> ApproachPresentation:
+    """Presentation of a preview-based approach (Concise/Tight/Diverse/...)."""
+    facts = set()
+    display = 0
+    for table in preview.tables:
+        facts.add(type_fact(table.key))
+        display += 1
+        for attribute in table.nonkey:
+            facts.add(attr_fact(table.key, attribute.name))
+            # An attribute also reveals the entity type on its far end.
+            facts.add(type_fact(attribute.target_type()))
+            display += 1
+    return ApproachPresentation(
+        name=name, facts=frozenset(facts), display_items=display, full_coverage=False
+    )
+
+
+def presentation_from_yps09(
+    name: str, summary: YPS09Summary, schema: SchemaGraph
+) -> ApproachPresentation:
+    """Presentation of the YPS09 summary: k centers, *all* their columns."""
+    facts = set()
+    display = 0
+    for center in summary.centers:
+        facts.add(type_fact(center))
+        display += 1
+        for attribute in schema.candidate_attributes(center):
+            facts.add(attr_fact(center, attribute.name))
+            facts.add(type_fact(attribute.target_type()))
+            display += 1
+    return ApproachPresentation(
+        name=name, facts=frozenset(facts), display_items=display, full_coverage=True
+    )
+
+
+def presentation_from_schema_graph(
+    name: str, schema: SchemaGraph
+) -> ApproachPresentation:
+    """Presentation of the raw schema graph: everything, at full size."""
+    presentation = present_schema_graph(schema)
+    facts = set()
+    for type_name in presentation.entity_types:
+        facts.add(type_fact(type_name))
+    for rel in presentation.relationship_types:
+        facts.add(attr_fact(rel.source_type, rel.name))
+        facts.add(attr_fact(rel.target_type, rel.name))
+    return ApproachPresentation(
+        name=name,
+        facts=frozenset(facts),
+        display_items=presentation.display_items,
+        full_coverage=True,
+    )
+
+
+@dataclass(frozen=True)
+class ExistenceQuestion:
+    """One Boolean question plus its ground-truth answer."""
+
+    fact: Fact
+    answer: bool
+
+
+def all_attribute_facts(schema: SchemaGraph) -> List[Tuple[Fact, int]]:
+    """Every true (type, attribute) fact with its coverage weight."""
+    facts: List[Tuple[Fact, int]] = []
+    for type_name in schema.entity_types():
+        for attribute in schema.candidate_attributes(type_name):
+            weight = schema.relationship_count(attribute.rel_type)
+            facts.append((attr_fact(type_name, attribute.name), weight))
+    return facts
+
+
+def generate_questions(
+    schema: SchemaGraph,
+    count: int,
+    seed: int = 0,
+    positive_fraction: float = 0.5,
+) -> List[ExistenceQuestion]:
+    """Seeded existence questions: weighted positives, fabricated negatives.
+
+    Positives sample true attribute facts proportionally to relationship
+    coverage (questions about a domain naturally target its prominent
+    relationships).  Negatives pair real entity types with attribute
+    names drawn from *other* types — plausible-sounding but false, the
+    paper's style of distractor.
+    """
+    if count < 1:
+        raise EvaluationError(f"count must be positive, got {count}")
+    rng = random.Random(seed)
+    weighted = all_attribute_facts(schema)
+    if not weighted:
+        raise EvaluationError("schema has no attribute facts to ask about")
+    facts = [fact for fact, _ in weighted]
+    weights = [weight for _, weight in weighted]
+    all_names = sorted({fact[2] for fact in facts})
+    true_set = set(facts)
+    types = schema.entity_types()
+
+    questions: List[ExistenceQuestion] = []
+    positives = round(count * positive_fraction)
+    for _ in range(positives):
+        fact = rng.choices(facts, weights=weights, k=1)[0]
+        questions.append(ExistenceQuestion(fact=fact, answer=True))
+    while len(questions) < count:
+        type_name = types[rng.randrange(len(types))]
+        attr_name = all_names[rng.randrange(len(all_names))]
+        candidate = attr_fact(type_name, attr_name)
+        if candidate in true_set:
+            continue
+        questions.append(ExistenceQuestion(fact=candidate, answer=False))
+    rng.shuffle(questions)
+    return questions

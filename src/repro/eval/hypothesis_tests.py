@@ -1,0 +1,86 @@
+"""Two-proportion one-tailed z-tests (Sec. 6.3.1, Tables 7 and 13-16).
+
+The user study compares approaches pairwise: assuming each existence-test
+response is a Bernoulli trial, the test statistic for approaches A and B
+with observed conversion rates ``cA, cB`` over ``nA, nB`` responses is
+
+    z = (cA - cB) / sqrt( p̂ (1 - p̂) (1/nA + 1/nB) )
+
+with pooled ``p̂ = (cA nA + cB nB) / (nA + nB)``.  The p-value is
+one-tailed in the direction of the observed difference (right-tailed for
+``cA > cB``), and significance uses α = 0.1 as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import EvaluationError
+
+#: Significance level used throughout the paper's user study.
+DEFAULT_ALPHA = 0.1
+
+
+def normal_cdf(z: float) -> float:
+    """Standard normal CDF via the error function."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class ZTestResult:
+    """Outcome of one pairwise two-proportion z-test."""
+
+    z: float
+    p_value: float
+    alpha: float
+    n_a: int
+    n_b: int
+    rate_a: float
+    rate_b: float
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < self.alpha
+
+    @property
+    def winner(self) -> str:
+        """``"A"``, ``"B"`` or ``"-"`` (no significant difference)."""
+        if not self.significant:
+            return "-"
+        return "A" if self.z > 0 else "B"
+
+
+def two_proportion_z_test(
+    successes_a: int,
+    n_a: int,
+    successes_b: int,
+    n_b: int,
+    alpha: float = DEFAULT_ALPHA,
+) -> ZTestResult:
+    """One-tailed two-proportion z-test in the observed direction."""
+    if n_a <= 0 or n_b <= 0:
+        raise EvaluationError("sample sizes must be positive")
+    if not 0 <= successes_a <= n_a or not 0 <= successes_b <= n_b:
+        raise EvaluationError("successes must lie within [0, n]")
+    rate_a = successes_a / n_a
+    rate_b = successes_b / n_b
+    pooled = (successes_a + successes_b) / (n_a + n_b)
+    variance = pooled * (1.0 - pooled) * (1.0 / n_a + 1.0 / n_b)
+    if variance <= 0.0:
+        z = 0.0
+        p_value = 0.5
+    else:
+        z = (rate_a - rate_b) / math.sqrt(variance)
+        # Right-tailed when z > 0, left-tailed when z < 0 (the paper
+        # tests in the direction of the observed difference).
+        p_value = 1.0 - normal_cdf(z) if z > 0 else normal_cdf(z)
+    return ZTestResult(
+        z=z,
+        p_value=p_value,
+        alpha=alpha,
+        n_a=n_a,
+        n_b=n_b,
+        rate_a=rate_a,
+        rate_b=rate_b,
+    )

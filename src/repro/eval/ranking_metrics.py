@@ -1,0 +1,126 @@
+"""Ranking accuracy metrics: P@K, Average Precision, nDCG, MRR (Sec. 6.1.2).
+
+All metrics follow the paper's definitions:
+
+* **P@K** — fraction of the top-K results that are gold;
+* **AvgP@K** — ``Σ_{i<=K} P@i · rel_i / |gold|``;
+* **nDCG@K** — ``DCG_K / IDCG_K`` with ``DCG_K = rel_1 + Σ_{i>=2} rel_i /
+  log2(i)`` (the paper's formula, which uses ``log2(i)`` rather than the
+  more common ``log2(i+1)``);
+* **MRR** — mean over entity types of the reciprocal rank of the first
+  gold answer;
+* the **optimal** curves (topmost lines of Figs. 5-7) are the best value
+  any ranking could achieve given ``|gold|``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Set, TypeVar
+
+from ..exceptions import EvaluationError
+
+T = TypeVar("T")
+
+
+def _validate_k(k: int) -> None:
+    if k < 1:
+        raise EvaluationError(f"K must be at least 1, got {k}")
+
+
+def precision_at_k(ranking: Sequence[T], gold: Set[T], k: int) -> float:
+    """Fraction of the top-``k`` ranked items that are in ``gold``."""
+    _validate_k(k)
+    top = ranking[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for item in top if item in gold)
+    return hits / k
+
+
+def optimal_precision_at_k(gold_size: int, k: int) -> float:
+    """Best possible P@K: all gold items ranked first."""
+    _validate_k(k)
+    return min(gold_size, k) / k
+
+
+def average_precision(ranking: Sequence[T], gold: Set[T], k: int) -> float:
+    """``AvgP@K = Σ_{i=1..K} P@i · rel_i / |gold|`` (the paper's Fig. 6)."""
+    _validate_k(k)
+    if not gold:
+        return 0.0
+    total = 0.0
+    hits = 0
+    for i, item in enumerate(ranking[:k], start=1):
+        if item in gold:
+            hits += 1
+            total += hits / i
+    return total / len(gold)
+
+
+def optimal_average_precision(gold_size: int, k: int) -> float:
+    """Best possible AvgP@K: gold items occupy ranks 1..min(gold, K)."""
+    _validate_k(k)
+    if gold_size == 0:
+        return 0.0
+    return min(gold_size, k) / gold_size
+
+
+def dcg_at_k(relevances: Sequence[float], k: int) -> float:
+    """``DCG_K = rel_1 + Σ_{i=2..K} rel_i / log2(i)`` (paper's formula)."""
+    _validate_k(k)
+    total = 0.0
+    for i, rel in enumerate(relevances[:k], start=1):
+        if i == 1:
+            total += rel
+        else:
+            total += rel / math.log2(i)
+    return total
+
+
+def ndcg_at_k(ranking: Sequence[T], gold: Set[T], k: int) -> float:
+    """nDCG@K with binary relevance against ``gold``."""
+    _validate_k(k)
+    relevances = [1.0 if item in gold else 0.0 for item in ranking[:k]]
+    ideal = [1.0] * min(len(gold), k)
+    idcg = dcg_at_k(ideal, k) if ideal else 0.0
+    if idcg == 0.0:
+        return 0.0
+    return dcg_at_k(relevances, k) / idcg
+
+
+def reciprocal_rank(ranking: Sequence[T], gold: Set[T]) -> float:
+    """1 / rank of the first gold item; 0.0 when none appears."""
+    for i, item in enumerate(ranking, start=1):
+        if item in gold:
+            return 1.0 / i
+    return 0.0
+
+
+def mean_reciprocal_rank(
+    rankings: Iterable[Sequence[T]], golds: Iterable[Set[T]]
+) -> float:
+    """MRR across paired (ranking, gold) cases; 0.0 with no cases."""
+    rr: List[float] = []
+    for ranking, gold in zip(rankings, golds):
+        rr.append(reciprocal_rank(ranking, gold))
+    if not rr:
+        return 0.0
+    return sum(rr) / len(rr)
+
+
+def precision_curve(ranking: Sequence[T], gold: Set[T], max_k: int) -> List[float]:
+    """``[P@1, ..., P@max_k]`` — one Fig. 5 line."""
+    return [precision_at_k(ranking, gold, k) for k in range(1, max_k + 1)]
+
+
+def average_precision_curve(
+    ranking: Sequence[T], gold: Set[T], max_k: int
+) -> List[float]:
+    """``[AvgP@1, ..., AvgP@max_k]`` — one Fig. 6 line."""
+    return [average_precision(ranking, gold, k) for k in range(1, max_k + 1)]
+
+
+def ndcg_curve(ranking: Sequence[T], gold: Set[T], max_k: int) -> List[float]:
+    """``[nDCG@1, ..., nDCG@max_k]`` — one Fig. 7 line."""
+    return [ndcg_at_k(ranking, gold, k) for k in range(1, max_k + 1)]

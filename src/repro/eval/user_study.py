@@ -1,0 +1,287 @@
+"""Simulated seven-approach user study (Sec. 6.3).
+
+Builds the seven approaches the paper compares — Concise, Tight, Diverse,
+Freebase (gold), Experts, YPS09, Graph — over a generated domain, then
+simulates participants answering existence tests and user-experience
+questionnaires.  Sample sizes match Table 5 (10-13 participants per
+approach, 4 questions per domain).
+
+Behavioural model (the substitution DESIGN.md documents):
+
+* **Accuracy** — a participant answers a positive question correctly with
+  high probability when its fact is visible in the summary, and at
+  guess-level probability otherwise; negative questions are answered
+  correctly with high probability when the summary shows the full
+  attribute set of the type in question (they can verify absence), and at
+  a reduced probability otherwise.  Reading clutter (display size) erodes
+  all of these.  Approach accuracy therefore *emerges* from what each
+  approach actually shows, rather than being hard-coded.
+* **Time** — log-normal per-question times whose median grows with the
+  square root of display size, scaled by a per-approach coherence factor
+  (tables with one clear hub read faster than scattered ones).
+* **Likert** — perception priors (see :mod:`repro.eval.likert`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.gold_tables import expert_preview, gold_preview
+from ..baselines.yps09.summarizer import YPS09Summarizer
+from ..core.constraints import DistanceConstraint, SizeConstraint
+from ..core.apriori import apriori_discover
+from ..core.dynamic_prog import dynamic_programming_discover
+from ..datasets.freebase_like import load_domain, load_schema
+from ..datasets.gold_standard import gold_size_constraint
+from ..exceptions import EvaluationError
+from ..model.schema_graph import SchemaGraph
+from ..scoring.preview_score import ScoringContext
+from .existence import (
+    ApproachPresentation,
+    ExistenceQuestion,
+    generate_questions,
+    presentation_from_preview,
+    presentation_from_schema_graph,
+    presentation_from_yps09,
+)
+from .hypothesis_tests import ZTestResult, two_proportion_z_test
+from .likert import LikertResponse, mean_scores, simulate_response
+
+#: The seven approaches, in the paper's presentation order.
+APPROACHES = ("Concise", "Tight", "Diverse", "Freebase", "Experts", "YPS09", "Graph")
+
+#: Participants per approach — reproduces Table 5's sample sizes
+#: (responses = participants × 4 questions).
+PARTICIPANTS: Dict[str, int] = {
+    "Concise": 13,
+    "Tight": 12,
+    "Diverse": 13,
+    "Freebase": 11,
+    "Experts": 12,
+    "YPS09": 13,
+    "Graph": 10,
+}
+
+#: Coherence multipliers for reading time (lower = faster).  Tight's hub
+#: structure reads fastest; YPS09's wide tables and the raw graph slowest.
+COHERENCE: Dict[str, float] = {
+    "Tight": 0.78,
+    "Freebase": 0.88,
+    "Concise": 1.00,
+    "Diverse": 1.05,
+    "Experts": 1.12,
+    "YPS09": 1.30,
+    "Graph": 1.45,
+}
+
+#: Distance constraints used for the study's tight/diverse previews (the
+#: values the efficiency experiments fix: d=2 tight, d=4 diverse).
+TIGHT_D = 2
+DIVERSE_D = 4
+
+QUESTIONS_PER_DOMAIN = 4
+
+
+@dataclass
+class ApproachOutcome:
+    """Everything recorded for one approach in one domain."""
+
+    presentation: ApproachPresentation
+    #: One entry per response: was the existence answer correct?
+    correct: List[bool] = field(default_factory=list)
+    #: Seconds spent per response.
+    times: List[float] = field(default_factory=list)
+    likert: List[LikertResponse] = field(default_factory=list)
+
+    @property
+    def sample_size(self) -> int:
+        return len(self.correct)
+
+    @property
+    def conversion_rate(self) -> float:
+        if not self.correct:
+            return 0.0
+        return sum(self.correct) / len(self.correct)
+
+    @property
+    def median_time(self) -> float:
+        if not self.times:
+            return 0.0
+        return statistics.median(self.times)
+
+
+@dataclass
+class UserStudyResult:
+    """All outcomes for one domain."""
+
+    domain: str
+    outcomes: Dict[str, ApproachOutcome]
+
+    def conversion_rates(self) -> Dict[str, Tuple[int, float]]:
+        """Table 5 cells: approach -> (n, conversion rate)."""
+        return {
+            name: (outcome.sample_size, outcome.conversion_rate)
+            for name, outcome in self.outcomes.items()
+        }
+
+    def median_times(self) -> Dict[str, float]:
+        return {name: outcome.median_time for name, outcome in self.outcomes.items()}
+
+    def time_ranking(self) -> List[str]:
+        """Approaches by ascending median time (one Table 6 row)."""
+        return sorted(self.outcomes, key=lambda name: self.outcomes[name].median_time)
+
+    def pairwise_z_tests(self) -> Dict[Tuple[str, str], ZTestResult]:
+        """Upper-triangle pairwise z-tests (Tables 7 / 13-16)."""
+        tests = {}
+        names = list(self.outcomes)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                oa, ob = self.outcomes[a], self.outcomes[b]
+                tests[(a, b)] = two_proportion_z_test(
+                    sum(oa.correct), oa.sample_size, sum(ob.correct), ob.sample_size
+                )
+        return tests
+
+    def likert_means(self) -> Dict[str, Dict[str, float]]:
+        """Per-approach Q1-Q4 means (one Table 17-21 block)."""
+        return {
+            name: mean_scores(outcome.likert)
+            for name, outcome in self.outcomes.items()
+        }
+
+
+def build_approaches(
+    domain: str, scale: int = 1000, seed: int = 0
+) -> Dict[str, ApproachPresentation]:
+    """Construct the seven approaches' presentations for ``domain``.
+
+    Size budgets follow the paper: the automatic approaches use the same
+    (K, N) as the domain's Freebase gold standard.
+    """
+    entity_graph = load_domain(domain, scale=scale, seed=seed)
+    schema = load_schema(domain, scale=scale, seed=seed)
+    k, n = gold_size_constraint(domain)
+    n = max(n, k)
+    context = ScoringContext(
+        schema, entity_graph, key_scorer="coverage", nonkey_scorer="coverage"
+    )
+    size = SizeConstraint(k=k, n=n)
+
+    concise = dynamic_programming_discover(context, size)
+    tight = apriori_discover(context, size, DistanceConstraint.tight(TIGHT_D))
+    diverse = apriori_discover(context, size, DistanceConstraint.diverse(DIVERSE_D))
+    if concise is None:
+        raise EvaluationError(f"no concise preview found for {domain!r}")
+
+    presentations = {
+        "Concise": presentation_from_preview("Concise", concise.preview),
+        "Freebase": presentation_from_preview("Freebase", gold_preview(domain, schema)),
+        "Experts": presentation_from_preview("Experts", expert_preview(domain, schema)),
+        "Graph": presentation_from_schema_graph("Graph", schema),
+    }
+    if tight is not None:
+        presentations["Tight"] = presentation_from_preview("Tight", tight.preview)
+    else:  # fall back: tight constraint infeasible at this d
+        presentations["Tight"] = presentations["Concise"]
+    if diverse is not None:
+        presentations["Diverse"] = presentation_from_preview("Diverse", diverse.preview)
+    else:
+        presentations["Diverse"] = presentations["Concise"]
+    summarizer = YPS09Summarizer(entity_graph, schema)
+    presentations["YPS09"] = presentation_from_yps09(
+        "YPS09", summarizer.summarize(k), schema
+    )
+    return presentations
+
+
+def _answer_probability(
+    presentation: ApproachPresentation, question: ExistenceQuestion
+) -> float:
+    """Probability a participant answers ``question`` correctly."""
+    clutter = min(0.30, presentation.display_items / 600.0)
+    if question.answer:
+        if presentation.shows(question.fact):
+            return 0.96 - clutter * 0.5
+        return 0.38
+    # Negative question: absence is verifiable when the summary shows the
+    # type's complete attribute list; otherwise absence-of-evidence only.
+    type_name = question.fact[1]
+    if presentation.full_coverage and presentation.shows_type(type_name):
+        return 0.94 - clutter * 0.5
+    return 0.84 - clutter * 0.5
+
+
+def _question_time(
+    presentation: ApproachPresentation, rng: random.Random
+) -> float:
+    """Seconds for one existence test (log-normal, clutter-scaled)."""
+    coherence = COHERENCE.get(presentation.name, 1.0)
+    median = (14.0 + 2.1 * math.sqrt(presentation.display_items)) * coherence
+    return rng.lognormvariate(math.log(median), 0.35)
+
+
+def run_user_study(
+    domain: str,
+    scale: int = 1000,
+    seed: int = 0,
+    questions_per_domain: int = QUESTIONS_PER_DOMAIN,
+) -> UserStudyResult:
+    """Simulate the study for one domain; fully deterministic per seed."""
+    schema = load_schema(domain, scale=scale, seed=seed)
+    presentations = build_approaches(domain, scale=scale, seed=seed)
+    outcomes: Dict[str, ApproachOutcome] = {}
+    for approach in APPROACHES:
+        presentation = presentations[approach]
+        rng = random.Random(
+            (seed * 977 + hash_name(approach) * 31 + hash_name(domain)) % (2**31)
+        )
+        questions = generate_questions(
+            schema,
+            questions_per_domain * PARTICIPANTS[approach],
+            seed=seed * 31 + hash_name(domain),
+        )
+        outcome = ApproachOutcome(presentation=presentation)
+        for question in questions:
+            p = _answer_probability(presentation, question)
+            outcome.correct.append(rng.random() < p)
+            outcome.times.append(_question_time(presentation, rng))
+        for _participant in range(PARTICIPANTS[approach]):
+            outcome.likert.append(simulate_response(approach, rng))
+        outcomes[approach] = outcome
+    return UserStudyResult(domain=domain, outcomes=outcomes)
+
+
+def hash_name(name: str) -> int:
+    """Stable small hash (``hash()`` is randomized per process)."""
+    digest = 0
+    for ch in name:
+        digest = (digest * 131 + ord(ch)) % (2**31)
+    return digest
+
+
+def cross_domain_likert_ranking(
+    results: Sequence[UserStudyResult],
+) -> Dict[str, List[str]]:
+    """Table 9: approaches sorted by average UX score across domains."""
+    sums: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, int] = {}
+    for result in results:
+        for approach, means in result.likert_means().items():
+            bucket = sums.setdefault(approach, {q: 0.0 for q in means})
+            for question, value in means.items():
+                bucket[question] += value
+            counts[approach] = counts.get(approach, 0) + 1
+    averages = {
+        approach: {q: total / counts[approach] for q, total in bucket.items()}
+        for approach, bucket in sums.items()
+    }
+    from .likert import QUESTION_KEYS, rank_approaches
+
+    return {
+        question: rank_approaches(averages, question) for question in QUESTION_KEYS
+    }

@@ -1,0 +1,110 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Errors raised by the graph substrate (``repro.graph``)."""
+
+
+class NodeNotFoundError(GraphError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node not found: {node!r}")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """A referenced edge does not exist in the graph."""
+
+
+class ModelError(ReproError):
+    """Errors raised by the entity-graph data model (``repro.model``)."""
+
+
+class UnknownEntityError(ModelError):
+    """A referenced entity does not exist in the entity graph."""
+
+    def __init__(self, entity: object) -> None:
+        super().__init__(f"unknown entity: {entity!r}")
+        self.entity = entity
+
+
+class UnknownTypeError(ModelError):
+    """A referenced entity type does not exist in the entity graph."""
+
+    def __init__(self, type_name: object) -> None:
+        super().__init__(f"unknown entity type: {type_name!r}")
+        self.type_name = type_name
+
+
+class UnknownRelationshipTypeError(ModelError):
+    """A referenced relationship type does not exist in the schema graph."""
+
+    def __init__(self, rel_type: object) -> None:
+        super().__init__(f"unknown relationship type: {rel_type!r}")
+        self.rel_type = rel_type
+
+
+class SchemaViolationError(ModelError):
+    """A relationship contradicts an established relationship-type signature.
+
+    The paper (Sec. 2) requires the type of a relationship to determine the
+    types of its two end entities; the builder enforces this.
+    """
+
+
+class StoreError(ReproError):
+    """Errors raised by the triple store (``repro.store``)."""
+
+
+class PersistenceError(StoreError):
+    """A dataset file could not be read or written."""
+
+
+class ScoringError(ReproError):
+    """Errors raised by scoring measures (``repro.scoring``)."""
+
+
+class UnknownScorerError(ScoringError):
+    """A scorer name was not found in the scorer registry."""
+
+    def __init__(self, name: str, available: tuple) -> None:
+        super().__init__(
+            f"unknown scorer {name!r}; available: {', '.join(sorted(available))}"
+        )
+        self.name = name
+        self.available = available
+
+
+class DiscoveryError(ReproError):
+    """Errors raised by preview discovery (``repro.core``)."""
+
+
+class InvalidConstraintError(DiscoveryError):
+    """A size or distance constraint is malformed or unsatisfiable."""
+
+
+class InfeasiblePreviewError(DiscoveryError):
+    """No preview satisfies the given constraints.
+
+    Raised, for example, when a diverse preview with ``k`` tables is
+    requested but no ``k`` entity types are pairwise at distance ``>= d``.
+    """
+
+
+class EvaluationError(ReproError):
+    """Errors raised by the evaluation harness (``repro.eval``)."""
+
+
+class DatasetError(ReproError):
+    """Errors raised by dataset generators and loaders (``repro.datasets``)."""

@@ -1,0 +1,68 @@
+"""Extensions: the paper's Sec. 8 future-work items, implemented.
+
+* representative tuple selection (future work #2);
+* parameter suggestion and automatic tight/diverse choice (#4 and #1);
+* numeric attributes in previews (#3);
+* incremental maintenance of schema graphs and coverage scores (the
+  Sec. 5 claim whose "detailed discussion" the paper omits);
+* DOT export of schema graphs and previews.
+"""
+
+from .dot_export import preview_to_dot, schema_graph_to_dot
+from .incremental import IncrementalEntityGraph
+from .multiway import (
+    MediatorProfile,
+    detect_mediator_types,
+    format_multiway_cell,
+    mediator_summary,
+    multiway_attribute_values,
+)
+from .numeric import (
+    AugmentedTable,
+    NumericAttributeStore,
+    NumericSummary,
+    augment_preview,
+    render_numeric_summary,
+)
+from .parameters import (
+    FlavourRecommendation,
+    SizeSuggestion,
+    choose_preview_flavour,
+    distance_quantile,
+    suggest_diverse_distance,
+    suggest_size,
+    suggest_tight_distance,
+)
+from .tuple_selection import (
+    SelectionDiagnostics,
+    materialize_preview_representative,
+    select_representative_tuples,
+    selection_diagnostics,
+)
+
+__all__ = [
+    "AugmentedTable",
+    "FlavourRecommendation",
+    "IncrementalEntityGraph",
+    "MediatorProfile",
+    "detect_mediator_types",
+    "format_multiway_cell",
+    "mediator_summary",
+    "multiway_attribute_values",
+    "NumericAttributeStore",
+    "NumericSummary",
+    "SelectionDiagnostics",
+    "SizeSuggestion",
+    "augment_preview",
+    "choose_preview_flavour",
+    "distance_quantile",
+    "materialize_preview_representative",
+    "preview_to_dot",
+    "render_numeric_summary",
+    "schema_graph_to_dot",
+    "select_representative_tuples",
+    "selection_diagnostics",
+    "suggest_diverse_distance",
+    "suggest_size",
+    "suggest_tight_distance",
+]

@@ -1,0 +1,85 @@
+"""Graphviz DOT export for schema graphs and previews.
+
+The user study's "Graph" approach presents the schema graph itself; this
+module makes both that presentation and discovered previews exportable
+as DOT for external rendering (``dot -Tsvg``).  Previews render as their
+defining star-shaped subgraphs (Definition 1), with key attributes
+emphasized — the visual language of the paper's Fig. 3 annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..core.preview import Preview
+from ..model.schema_graph import SchemaGraph
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def schema_graph_to_dot(
+    schema: SchemaGraph,
+    name: str = "schema",
+    highlight: Optional[Iterable[str]] = None,
+) -> str:
+    """The full schema graph as a DOT digraph.
+
+    Node labels carry entity populations; edge labels carry relationship
+    names and instance counts.  ``highlight`` nodes are filled (used to
+    mark a preview's key attributes on top of the full schema).
+    """
+    marked = set(highlight or ())
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;", "  node [shape=box];"]
+    for type_name in schema.entity_types():
+        count = schema.entity_count(type_name)
+        attrs = [f"label={_quote(f'{type_name} ({count})')}"]
+        if type_name in marked:
+            attrs.append("style=filled")
+            attrs.append('fillcolor="lightblue"')
+        lines.append(f"  {_quote(type_name)} [{', '.join(attrs)}];")
+    for rel in schema.relationship_types():
+        weight = schema.relationship_count(rel)
+        lines.append(
+            f"  {_quote(rel.source_type)} -> {_quote(rel.target_type)} "
+            f"[label={_quote(f'{rel.name} [{weight}]')}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def preview_to_dot(preview: Preview, name: str = "preview") -> str:
+    """A preview as its star-shaped schema subgraphs (one cluster each)."""
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;", "  node [shape=box];"]
+    emitted_nodes = set()
+
+    def ensure_node(node: str, key: bool = False) -> None:
+        if node in emitted_nodes:
+            return
+        emitted_nodes.add(node)
+        style = (
+            "style=filled, fillcolor=\"lightblue\", penwidth=2" if key else ""
+        )
+        attrs = f" [{style}]" if style else ""
+        lines.append(f"  {_quote(node)}{attrs};")
+
+    # Emit all key nodes first so a type that is another table's neighbor
+    # still gets its key styling.
+    for table in preview.tables:
+        ensure_node(table.key, key=True)
+    for index, table in enumerate(preview.tables):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={_quote(f'table: {table.key}')};")
+        lines.append("  }")
+        for attribute in table.nonkey:
+            rel = attribute.rel_type
+            ensure_node(rel.source_type)
+            ensure_node(rel.target_type)
+            lines.append(
+                f"  {_quote(rel.source_type)} -> {_quote(rel.target_type)} "
+                f"[label={_quote(rel.name)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

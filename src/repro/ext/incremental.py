@@ -1,0 +1,163 @@
+"""Incremental maintenance of schema graphs and coverage scores.
+
+Sec. 5 of the paper asserts that the schema graph and the scoring
+measures "can be incrementally updated when the underlying entity graph
+is updated (detailed discussion omitted)" — while optimal previews
+cannot.  This module supplies that omitted machinery for the coverage
+measures (the aggregate-count ones, where incrementality is exact):
+
+* :class:`IncrementalEntityGraph` wraps an :class:`EntityGraph` and, on
+  every mutation, updates the derived :class:`SchemaGraph` counts and the
+  coverage key/non-key scores in O(1) per inserted entity/relationship —
+  no rescan of the data;
+* a *generation* counter invalidates any cached discovery result, making
+  the paper's "previews cannot be incrementally updated" explicit in the
+  API: callers re-run discovery (cheap — Fig. 8) against fresh scores.
+
+Random-walk and entropy measures are recomputed lazily on demand: both
+are global fixed-point/histogram computations without an exact O(1)
+delta form; the wrapper tracks dirtiness so the recomputation happens at
+most once per batch of updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..core.discovery import discover_preview
+from ..core.preview import DiscoveryResult
+from ..exceptions import ModelError
+from ..model.entity_graph import EntityGraph
+from ..model.ids import EntityId, RelationshipTypeId, TypeId
+from ..model.schema_graph import SchemaGraph
+from ..scoring.preview_score import ScoringContext
+
+
+class IncrementalEntityGraph:
+    """An entity graph with incrementally maintained schema and scores."""
+
+    def __init__(self, base: Optional[EntityGraph] = None, name: str = "incremental") -> None:
+        self._graph = base if base is not None else EntityGraph(name=name)
+        self._schema = SchemaGraph.from_entity_graph(self._graph)
+        #: Coverage scores maintained exactly under mutation.
+        self._key_coverage: Dict[TypeId, int] = {
+            t: self._graph.type_count(t) for t in self._graph.entity_types()
+        }
+        self._nonkey_coverage: Dict[RelationshipTypeId, int] = {
+            r: self._graph.relationship_count(r)
+            for r in self._graph.relationship_types()
+        }
+        #: Bumped on every mutation; cached previews must match it.
+        self.generation = 0
+        self._cached_context: Optional[ScoringContext] = None
+        self._cached_context_generation = -1
+
+    # ------------------------------------------------------------------
+    # Read access
+    # ------------------------------------------------------------------
+    @property
+    def entity_graph(self) -> EntityGraph:
+        return self._graph
+
+    @property
+    def schema(self) -> SchemaGraph:
+        return self._schema
+
+    def key_coverage(self, type_name: TypeId) -> int:
+        """``Scov(τ)`` maintained incrementally (0 for unknown types)."""
+        return self._key_coverage.get(type_name, 0)
+
+    def nonkey_coverage(self, rel_type: RelationshipTypeId) -> int:
+        """``Sτcov(γ)`` maintained incrementally (0 for unknown types)."""
+        return self._nonkey_coverage.get(rel_type, 0)
+
+    # ------------------------------------------------------------------
+    # Mutation (O(1) score maintenance)
+    # ------------------------------------------------------------------
+    def add_entity(self, entity: EntityId, types: Iterable[TypeId]) -> None:
+        type_list = list(types)
+        known_before = (
+            self._graph.types_of(entity) if self._graph.has_entity(entity) else frozenset()
+        )
+        self._graph.add_entity(entity, type_list)
+        for type_name in set(type_list) - set(known_before):
+            self._key_coverage[type_name] = self._key_coverage.get(type_name, 0) + 1
+            self._schema.add_entity_type(
+                type_name, entity_count=self._key_coverage[type_name]
+            )
+        self._touch()
+
+    def add_relationship(
+        self, source: EntityId, target: EntityId, rel_type: RelationshipTypeId
+    ) -> None:
+        self._graph.add_relationship(source, target, rel_type)
+        self._nonkey_coverage[rel_type] = self._nonkey_coverage.get(rel_type, 0) + 1
+        self._schema.add_relationship_type(rel_type, edge_count=1)
+        self._touch()
+
+    def _touch(self) -> None:
+        self.generation += 1
+
+    # ------------------------------------------------------------------
+    # Discovery (never incremental — by design, matching the paper)
+    # ------------------------------------------------------------------
+    def context(
+        self, key_scorer: str = "coverage", nonkey_scorer: str = "coverage"
+    ) -> ScoringContext:
+        """A scoring context current with the latest generation.
+
+        Coverage contexts read the incrementally maintained aggregates
+        (already folded into the schema graph); random-walk/entropy
+        contexts trigger their lazy global recomputation here.
+        """
+        if (
+            self._cached_context is not None
+            and self._cached_context_generation == self.generation
+            and self._cached_context.key_scorer_name == key_scorer
+            and self._cached_context.nonkey_scorer_name == nonkey_scorer
+        ):
+            return self._cached_context
+        context = ScoringContext(
+            self._schema,
+            self._graph,
+            key_scorer=key_scorer,
+            nonkey_scorer=nonkey_scorer,
+        )
+        self._cached_context = context
+        self._cached_context_generation = self.generation
+        return context
+
+    def discover(self, k: int, n: int, **kwargs) -> DiscoveryResult:
+        """Run discovery against up-to-date scores.
+
+        Optimal previews cannot be patched in place (Sec. 5), so this
+        always re-solves — against incrementally maintained aggregates.
+        """
+        key_scorer = kwargs.pop("key_scorer", "coverage")
+        nonkey_scorer = kwargs.pop("nonkey_scorer", "coverage")
+        return discover_preview(
+            self.context(key_scorer, nonkey_scorer), k=k, n=n, **kwargs
+        )
+
+    def verify_against_rescan(self) -> bool:
+        """Cross-check incremental aggregates against a full rescan.
+
+        Test/debug helper: returns True when every maintained count
+        matches a freshly derived schema graph.
+        """
+        fresh = SchemaGraph.from_entity_graph(self._graph)
+        for type_name in fresh.entity_types():
+            if self._key_coverage.get(type_name, 0) != fresh.entity_count(type_name):
+                return False
+            if self._schema.entity_count(type_name) != fresh.entity_count(type_name):
+                return False
+        for rel_type in fresh.relationship_types():
+            if self._nonkey_coverage.get(rel_type, 0) != fresh.relationship_count(
+                rel_type
+            ):
+                return False
+            if self._schema.relationship_count(rel_type) != fresh.relationship_count(
+                rel_type
+            ):
+                return False
+        return True

@@ -1,0 +1,157 @@
+"""Multi-way relationships through mediator types (Appendix B).
+
+Freebase models n-ary facts with mediator nodes (CVTs): *Agent J is a
+FILM CHARACTER played by FILM ACTOR Will Smith in FILM Men in Black* is a
+PERFORMANCE node with one edge to each participant.  The paper's sample
+previews surface these as multi-way non-key attributes ("Performances
+(FILM ACTOR, FILM CHARACTER)") and present "values for all participating
+entity types in this relationship"; it notes table-widening concerns and
+leaves the mechanics open.
+
+This module supplies those mechanics:
+
+* :func:`detect_mediator_types` — find CVT-like types: every entity is a
+  small-degree junction whose incident relationship types fan out to at
+  least two *other* entity types, with at most one neighbor per role
+  (n-ary facts have one filler per role);
+* :func:`multiway_attribute_values` — given a table's key entity and a
+  relationship into a mediator type, join *through* the mediator and
+  return role-labelled tuples — the paper's "values for all participating
+  entity types";
+* :func:`format_multiway_cell` — compact cell rendering
+  (``Men in Black / Will Smith``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import ModelError
+from ..model.attributes import Direction, NonKeyAttribute
+from ..model.entity_graph import EntityGraph
+from ..model.ids import EntityId, RelationshipTypeId, TypeId
+from ..model.schema_graph import SchemaGraph
+
+#: Upper bound on a mediator entity's total degree: CVT nodes are small
+#: junctions (one filler per role plus the anchoring edge).
+MAX_MEDIATOR_DEGREE = 6
+
+
+@dataclass(frozen=True)
+class MediatorProfile:
+    """A detected mediator (CVT-like) type and its role structure."""
+
+    mediator: TypeId
+    #: Role name -> participant entity type, for every incident role.
+    roles: Dict[str, TypeId]
+
+    @property
+    def arity(self) -> int:
+        return len(self.roles)
+
+
+def _incident_roles(schema: SchemaGraph, type_name: TypeId) -> Dict[str, TypeId]:
+    """Role map of a type: each incident relationship's far-end type."""
+    roles: Dict[str, TypeId] = {}
+    for attribute in schema.candidate_attributes(type_name):
+        roles[attribute.rel_type.name] = attribute.target_type()
+    return roles
+
+
+def detect_mediator_types(
+    entity_graph: EntityGraph,
+    schema: SchemaGraph,
+    max_degree: int = MAX_MEDIATOR_DEGREE,
+) -> List[MediatorProfile]:
+    """Detect CVT-like mediator types.
+
+    A type qualifies when it has at least two distinct roles (incident
+    relationship types reaching ≥ 2 distinct participant types) and every
+    one of its entities (a) stays under the degree cap and (b) has at
+    most one neighbor per role — the defining shape of an n-ary fact
+    node.  Types with no entities never qualify.
+    """
+    profiles: List[MediatorProfile] = []
+    for type_name in schema.entity_types():
+        roles = _incident_roles(schema, type_name)
+        participant_types = set(roles.values()) - {type_name}
+        if len(roles) < 2 or len(participant_types) < 2:
+            continue
+        entities = entity_graph.entities_of_type(type_name)
+        if not entities:
+            continue
+        qualifies = True
+        for entity in entities:
+            total = 0
+            for attribute in schema.candidate_attributes(type_name):
+                fillers = entity_graph.attribute_value(entity, attribute)
+                if len(fillers) > 1:
+                    qualifies = False
+                    break
+                total += len(fillers)
+            if not qualifies or total > max_degree or total < 2:
+                qualifies = False
+                break
+        if qualifies:
+            profiles.append(MediatorProfile(mediator=type_name, roles=roles))
+    return profiles
+
+
+#: One multi-way value: role name -> the filler entity (None if absent).
+MultiwayValue = Tuple[Tuple[str, Optional[EntityId]], ...]
+
+
+def multiway_attribute_values(
+    entity_graph: EntityGraph,
+    schema: SchemaGraph,
+    key_entity: EntityId,
+    into_mediator: NonKeyAttribute,
+    profile: MediatorProfile,
+) -> List[MultiwayValue]:
+    """Join through a mediator and return role-labelled value tuples.
+
+    ``into_mediator`` must point from the key entity's type into the
+    mediator type; each mediator node reached contributes one tuple with
+    the fillers of every *other* role.
+    """
+    if into_mediator.target_type() != profile.mediator:
+        raise ModelError(
+            f"attribute {into_mediator} does not reach mediator "
+            f"{profile.mediator!r}"
+        )
+    results: List[MultiwayValue] = []
+    anchor_role = into_mediator.rel_type.name
+    mediators = entity_graph.attribute_value(key_entity, into_mediator)
+    for node in sorted(mediators):
+        fillers: List[Tuple[str, Optional[EntityId]]] = []
+        for attribute in schema.candidate_attributes(profile.mediator):
+            role = attribute.rel_type.name
+            if role == anchor_role:
+                continue
+            value = entity_graph.attribute_value(node, attribute)
+            fillers.append((role, next(iter(value)) if value else None))
+        results.append(tuple(sorted(fillers)))
+    return results
+
+
+def format_multiway_cell(values: Sequence[MultiwayValue]) -> str:
+    """Render multi-way values compactly: ``film / actor; film / actor``."""
+    if not values:
+        return "-"
+    parts = []
+    for value in values:
+        fillers = [filler if filler is not None else "-" for _role, filler in value]
+        parts.append(" / ".join(fillers))
+    return "; ".join(parts)
+
+
+def mediator_summary(
+    entity_graph: EntityGraph, schema: SchemaGraph
+) -> Dict[TypeId, int]:
+    """Mediator type -> number of n-ary facts (entities) it mediates."""
+    return {
+        profile.mediator: entity_graph.type_count(profile.mediator)
+        for profile in detect_mediator_types(entity_graph, schema)
+    }

@@ -1,0 +1,152 @@
+"""Numeric attributes in preview tables (paper future work #3).
+
+The paper's pipeline removes numeric values from the Freebase dump and
+explicitly defers "incorporating numeric attributes into preview tables".
+This module adds that capability:
+
+* :class:`NumericAttributeStore` holds literal-valued attributes
+  (``entity --height--> 1.88``) alongside an entity graph, with per
+  (entity type, attribute name) aggregates maintained on insert;
+* numeric candidates are scored by **coverage** (how many literals of
+  that name the type's entities carry) — the same intuition as the
+  paper's relational coverage measure;
+* :func:`augment_preview` appends the best numeric attributes to each
+  preview table under an attribute budget, and
+  :func:`render_numeric_summary` displays per-column summary statistics
+  (count / min / mean / max), the preview-friendly form of a numeric
+  column.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.preview import Preview, PreviewTable
+from ..exceptions import ModelError
+from ..model.entity_graph import EntityGraph
+from ..model.ids import EntityId, TypeId
+
+
+@dataclass
+class NumericSummary:
+    """Streaming summary statistics of one numeric attribute on one type."""
+
+    count: int = 0
+    total: float = 0.0
+    total_sq: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    @property
+    def variance(self) -> float:
+        if self.count == 0:
+            return 0.0
+        m = self.mean
+        return max(0.0, self.total_sq / self.count - m * m)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class NumericAttributeStore:
+    """Literal attributes over an entity graph, with per-type aggregates."""
+
+    def __init__(self, entity_graph: EntityGraph) -> None:
+        self._graph = entity_graph
+        # (entity, name) -> list of values (literals may repeat).
+        self._values: Dict[Tuple[EntityId, str], List[float]] = defaultdict(list)
+        # (type, name) -> summary across all entities of that type.
+        self._summaries: Dict[Tuple[TypeId, str], NumericSummary] = defaultdict(
+            NumericSummary
+        )
+
+    def add(self, entity: EntityId, name: str, value: float) -> None:
+        """Attach one literal; the entity must exist in the graph."""
+        if not self._graph.has_entity(entity):
+            from ..exceptions import UnknownEntityError
+
+            raise UnknownEntityError(entity)
+        try:
+            numeric = float(value)
+        except (TypeError, ValueError):
+            raise ModelError(f"literal {value!r} on {entity!r}.{name} is not numeric")
+        if math.isnan(numeric):
+            raise ModelError(f"NaN literal on {entity!r}.{name}")
+        self._values[(entity, name)].append(numeric)
+        for type_name in self._graph.types_of(entity):
+            self._summaries[(type_name, name)].add(numeric)
+
+    def values(self, entity: EntityId, name: str) -> List[float]:
+        return list(self._values.get((entity, name), ()))
+
+    def summary(self, type_name: TypeId, name: str) -> Optional[NumericSummary]:
+        return self._summaries.get((type_name, name))
+
+    def candidates(self, type_name: TypeId) -> List[Tuple[str, NumericSummary]]:
+        """Numeric attribute names of ``type_name`` by descending coverage."""
+        found = [
+            (name, summary)
+            for (owner, name), summary in self._summaries.items()
+            if owner == type_name
+        ]
+        found.sort(key=lambda item: (-item[1].count, item[0]))
+        return found
+
+    def coverage(self, type_name: TypeId, name: str) -> int:
+        """The coverage score of a numeric candidate (literal count)."""
+        summary = self._summaries.get((type_name, name))
+        return summary.count if summary else 0
+
+
+@dataclass(frozen=True)
+class AugmentedTable:
+    """A preview table plus its selected numeric attributes."""
+
+    table: PreviewTable
+    numeric: Tuple[Tuple[str, NumericSummary], ...]
+
+
+def augment_preview(
+    preview: Preview,
+    store: NumericAttributeStore,
+    per_table_budget: int = 2,
+) -> List[AugmentedTable]:
+    """Attach the top numeric attributes (by coverage) to each table."""
+    if per_table_budget < 0:
+        raise ModelError(f"budget must be non-negative, got {per_table_budget}")
+    augmented = []
+    for table in preview.tables:
+        numeric = tuple(store.candidates(table.key)[:per_table_budget])
+        augmented.append(AugmentedTable(table=table, numeric=numeric))
+    return augmented
+
+
+def render_numeric_summary(augmented: AugmentedTable) -> str:
+    """One-line-per-attribute numeric digest for a preview table."""
+    lines = [f"[{augmented.table.key}] numeric attributes:"]
+    if not augmented.numeric:
+        lines.append("  (none)")
+    for name, summary in augmented.numeric:
+        lines.append(
+            f"  {name}: n={summary.count} min={summary.minimum:g} "
+            f"mean={summary.mean:.4g} max={summary.maximum:g} "
+            f"sd={summary.stddev:.4g}"
+        )
+    return "\n".join(lines)

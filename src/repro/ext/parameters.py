@@ -1,0 +1,179 @@
+"""Parameter suggestion (paper future work #4) and the tight/diverse
+choice (future work #1).
+
+The paper assumes k, n, d are "manually chosen by interactive users or
+automatically suggested based on the size of a display space" and lists
+both the suggestion problem and "guidelines and automatic techniques for
+choosing between tight and diverse previews" as future directions.
+
+Heuristics implemented here:
+
+* **Size from display budget** — a preview table costs one header row
+  per table plus its sampled tuples, and one column per attribute.
+  Given a rows×cols character-free budget, solve for the largest (k, n)
+  that fits, clamped to what the schema can actually supply.
+* **Distance from the distance distribution** — a tight bound d should
+  admit a meaningful-but-selective fraction of type pairs (default: the
+  ~25th percentile of pairwise distances), a diverse bound the ~75th.
+  This directly avoids the regimes the paper flags as pathological
+  (tight d=6 / diverse d=2 on music: "most previews become tight").
+* **Tight vs. diverse** — discover both, then compare on *score retention*
+  (fraction of the unconstrained optimum each retains) and *coverage
+  spread* (how many distinct schema regions the keys touch).  Dense,
+  hub-centric schemas retain almost all score under a tight constraint
+  (recommend tight — more coherent, and the user study found it fastest);
+  flat schemas lose little by diversifying (recommend diverse).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.apriori import apriori_discover
+from ..core.constraints import DistanceConstraint, SizeConstraint
+from ..core.dynamic_prog import dynamic_programming_discover
+from ..core.preview import DiscoveryResult
+from ..exceptions import DiscoveryError, InfeasiblePreviewError
+from ..model.schema_graph import SchemaGraph
+from ..scoring.preview_score import ScoringContext
+
+#: Display cost model: rows consumed per table beyond its tuples.
+HEADER_ROWS_PER_TABLE = 3
+DEFAULT_TUPLES_SHOWN = 3
+#: Columns consumed per attribute (key column excluded).
+COLS_PER_ATTRIBUTE = 1
+
+
+@dataclass(frozen=True)
+class SizeSuggestion:
+    """A suggested (k, n) with the budget arithmetic that produced it."""
+
+    k: int
+    n: int
+    display_rows: int
+    display_cols: int
+
+    def as_constraint(self) -> SizeConstraint:
+        return SizeConstraint(k=self.k, n=self.n)
+
+
+def suggest_size(
+    schema: SchemaGraph,
+    display_rows: int,
+    display_cols: int,
+    tuples_per_table: int = DEFAULT_TUPLES_SHOWN,
+) -> SizeSuggestion:
+    """The largest (k, n) fitting a rows×cols display budget.
+
+    Rows bound k (each table costs header rows plus its tuples); columns
+    bound the attributes per table and hence n.  Both are clamped to the
+    schema's actual capacity.
+    """
+    if display_rows < HEADER_ROWS_PER_TABLE + 1 or display_cols < 2:
+        raise DiscoveryError(
+            f"display budget too small: {display_rows}x{display_cols}"
+        )
+    rows_per_table = HEADER_ROWS_PER_TABLE + tuples_per_table
+    k = max(1, display_rows // rows_per_table)
+    k = min(k, schema.entity_type_count)
+    attrs_per_table = max(1, (display_cols - 1) // COLS_PER_ATTRIBUTE - 1)
+    n = min(k * attrs_per_table, schema.candidate_attribute_count)
+    n = max(n, k)
+    return SizeSuggestion(
+        k=k, n=n, display_rows=display_rows, display_cols=display_cols
+    )
+
+
+def distance_quantile(schema: SchemaGraph, quantile: float) -> int:
+    """The given quantile of the finite pairwise type-distance distribution."""
+    if not 0.0 <= quantile <= 1.0:
+        raise DiscoveryError(f"quantile must be in [0, 1], got {quantile}")
+    oracle = schema.distance_oracle()
+    types = schema.entity_types()
+    distances: List[int] = []
+    for i, a in enumerate(types):
+        for b in types[i + 1:]:
+            d = oracle.distance(a, b)
+            if d != math.inf:
+                distances.append(int(d))
+    if not distances:
+        raise DiscoveryError("schema has no connected type pairs")
+    distances.sort()
+    index = min(len(distances) - 1, int(quantile * len(distances)))
+    return distances[index]
+
+
+def suggest_tight_distance(schema: SchemaGraph) -> int:
+    """A selective-but-satisfiable tight bound (~25th percentile, >= 1)."""
+    return max(1, distance_quantile(schema, 0.25))
+
+
+def suggest_diverse_distance(schema: SchemaGraph) -> int:
+    """A selective-but-satisfiable diverse bound (~75th percentile, >= 2)."""
+    return max(2, distance_quantile(schema, 0.75))
+
+
+@dataclass(frozen=True)
+class FlavourRecommendation:
+    """Outcome of the automatic tight-vs-diverse choice."""
+
+    recommendation: str  # "tight" | "diverse" | "concise"
+    tight: Optional[DiscoveryResult]
+    diverse: Optional[DiscoveryResult]
+    concise: DiscoveryResult
+    tight_retention: float
+    diverse_retention: float
+
+    def recommended_result(self) -> DiscoveryResult:
+        if self.recommendation == "tight" and self.tight is not None:
+            return self.tight
+        if self.recommendation == "diverse" and self.diverse is not None:
+            return self.diverse
+        return self.concise
+
+
+def choose_preview_flavour(
+    context: ScoringContext,
+    size: SizeConstraint,
+    tight_d: Optional[int] = None,
+    diverse_d: Optional[int] = None,
+    retention_threshold: float = 0.8,
+) -> FlavourRecommendation:
+    """Recommend tight, diverse or unconstrained-concise previews.
+
+    Policy: prefer the *tight* preview when it retains at least
+    ``retention_threshold`` of the unconstrained optimum's score (the
+    user study found tight previews fastest and most accurate to use);
+    otherwise prefer *diverse* under the same bar (the score lives in
+    scattered regions, so show the spread); otherwise fall back to the
+    plain concise optimum.
+    """
+    schema = context.schema
+    concise = dynamic_programming_discover(context, size)
+    if concise is None:
+        raise InfeasiblePreviewError(
+            f"no concise preview exists for k={size.k}, n={size.n}"
+        )
+    tight_d = suggest_tight_distance(schema) if tight_d is None else tight_d
+    diverse_d = suggest_diverse_distance(schema) if diverse_d is None else diverse_d
+    tight = apriori_discover(context, size, DistanceConstraint.tight(tight_d))
+    diverse = apriori_discover(context, size, DistanceConstraint.diverse(diverse_d))
+    tight_retention = tight.score / concise.score if tight else 0.0
+    diverse_retention = diverse.score / concise.score if diverse else 0.0
+
+    if tight is not None and tight_retention >= retention_threshold:
+        recommendation = "tight"
+    elif diverse is not None and diverse_retention >= retention_threshold:
+        recommendation = "diverse"
+    else:
+        recommendation = "concise"
+    return FlavourRecommendation(
+        recommendation=recommendation,
+        tight=tight,
+        diverse=diverse,
+        concise=concise,
+        tight_retention=tight_retention,
+        diverse_retention=diverse_retention,
+    )

@@ -1,0 +1,81 @@
+"""Distance oracle over schema graphs for tight/diverse constraints.
+
+The distance between two preview tables is the shortest *undirected* path
+length between their key attributes in the schema graph (Sec. 4).  The
+oracle precomputes all-pairs BFS once (schema graphs are small, Table 2)
+and answers pairwise queries in O(1), which is what both the
+distance-checked brute force and the Apriori algorithm need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Tuple, Union
+
+from ..exceptions import NodeNotFoundError
+from .multigraph import DirectedMultigraph
+from .simple import UndirectedGraph
+from .traversal import all_pairs_shortest_paths
+
+Node = Hashable
+AnyGraph = Union[DirectedMultigraph, UndirectedGraph]
+
+#: Distance reported for mutually unreachable node pairs.
+INFINITY = math.inf
+
+
+class DistanceOracle:
+    """Precomputed all-pairs undirected hop distances.
+
+    Unreachable pairs have distance :data:`INFINITY`, which naturally makes
+    them fail every tight constraint and satisfy every diverse constraint —
+    the semantics that follow from the paper's set definitions.
+    """
+
+    def __init__(self, graph: AnyGraph) -> None:
+        self._table: Dict[Node, Dict[Node, int]] = all_pairs_shortest_paths(graph)
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Shortest undirected hop distance between ``u`` and ``v``."""
+        try:
+            row = self._table[u]
+        except KeyError:
+            raise NodeNotFoundError(u) from None
+        if v not in self._table:
+            raise NodeNotFoundError(v)
+        return row.get(v, INFINITY)
+
+    def within(self, u: Node, v: Node, d: float) -> bool:
+        """True when ``dist(u, v) <= d`` (tight-preview adjacency)."""
+        return self.distance(u, v) <= d
+
+    def at_least(self, u: Node, v: Node, d: float) -> bool:
+        """True when ``dist(u, v) >= d`` (diverse-preview adjacency)."""
+        return self.distance(u, v) >= d
+
+    def nodes(self) -> List[Node]:
+        return list(self._table)
+
+    def matrix(self) -> Dict[Node, Dict[Node, int]]:
+        """The raw (finite-entries-only) distance table, for inspection."""
+        return {u: dict(row) for u, row in self._table.items()}
+
+    def pairs_within(self, d: float) -> List[Tuple[Node, Node]]:
+        """All unordered distinct pairs at distance ``<= d``."""
+        nodes = list(self._table)
+        out = []
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1:]:
+                if self.within(u, v, d):
+                    out.append((u, v))
+        return out
+
+    def pairs_at_least(self, d: float) -> List[Tuple[Node, Node]]:
+        """All unordered distinct pairs at distance ``>= d``."""
+        nodes = list(self._table)
+        out = []
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1:]:
+                if self.at_least(u, v, d):
+                    out.append((u, v))
+        return out

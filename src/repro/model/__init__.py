@@ -1,0 +1,40 @@
+"""Entity-graph data model: entities, types, relationships, schema graphs."""
+
+from .attributes import Direction, NonKeyAttribute, incoming, outgoing
+from .builder import EntityGraphBuilder
+from .entity_graph import EntityGraph
+from .ids import (
+    EntityId,
+    RelationshipTypeId,
+    TypeId,
+    parse_qualified_name,
+    qualified_name,
+)
+from .schema_graph import SchemaGraph
+from .triples import (
+    TYPE_PREDICATE,
+    Triple,
+    entity_graph_to_triples,
+    triples_to_entity_graph,
+    validate_round_trip,
+)
+
+__all__ = [
+    "Direction",
+    "EntityGraph",
+    "EntityGraphBuilder",
+    "EntityId",
+    "NonKeyAttribute",
+    "RelationshipTypeId",
+    "SchemaGraph",
+    "TYPE_PREDICATE",
+    "Triple",
+    "TypeId",
+    "entity_graph_to_triples",
+    "incoming",
+    "outgoing",
+    "parse_qualified_name",
+    "qualified_name",
+    "triples_to_entity_graph",
+    "validate_round_trip",
+]

@@ -1,0 +1,67 @@
+"""Non-key attribute value objects.
+
+A non-key attribute of a preview table with key attribute ``τ`` is a
+relationship type incident on ``τ`` **in either direction** (Definition 1:
+"a non-key attribute corresponds to either γ(τ, τ') or γ(τ', τ)").  The
+same relationship type therefore yields *two* candidate attributes when it
+is a self-loop on ``τ``, and one candidate each for its source-type table
+and its target-type table otherwise — which is why the paper counts
+``N = 2|Es|`` candidates overall (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .ids import RelationshipTypeId, TypeId
+
+
+class Direction(enum.Enum):
+    """Orientation of a relationship type relative to a table's key type."""
+
+    #: The key type is the *source* of the relationship: γ(τ, τ').
+    OUT = "out"
+    #: The key type is the *target* of the relationship: γ(τ', τ).
+    IN = "in"
+
+    def flipped(self) -> "Direction":
+        return Direction.IN if self is Direction.OUT else Direction.OUT
+
+
+@dataclass(frozen=True, order=True)
+class NonKeyAttribute:
+    """A candidate non-key attribute: a relationship type plus orientation."""
+
+    rel_type: RelationshipTypeId
+    direction: Direction
+
+    @property
+    def name(self) -> str:
+        return self.rel_type.name
+
+    def key_type(self) -> TypeId:
+        """The entity type of the table this attribute belongs to."""
+        if self.direction is Direction.OUT:
+            return self.rel_type.source_type
+        return self.rel_type.target_type
+
+    def target_type(self) -> TypeId:
+        """The entity type on the far end (the attribute's value type)."""
+        if self.direction is Direction.OUT:
+            return self.rel_type.target_type
+        return self.rel_type.source_type
+
+    def __str__(self) -> str:
+        arrow = "->" if self.direction is Direction.OUT else "<-"
+        return f"{self.rel_type.name} {arrow} {self.target_type()}"
+
+
+def outgoing(rel_type: RelationshipTypeId) -> NonKeyAttribute:
+    """The attribute view of ``rel_type`` for its source-type table."""
+    return NonKeyAttribute(rel_type, Direction.OUT)
+
+
+def incoming(rel_type: RelationshipTypeId) -> NonKeyAttribute:
+    """The attribute view of ``rel_type`` for its target-type table."""
+    return NonKeyAttribute(rel_type, Direction.IN)

@@ -1,0 +1,214 @@
+"""The entity graph ``Gd(Vd, Ed)`` — the paper's input data model (Sec. 2).
+
+An entity graph is a directed multigraph whose vertices are *entities*
+(each belonging to one or more *entity types*) and whose edges are
+*relationships* (each belonging to exactly one *relationship type*).  The
+type of a relationship determines the types of both endpoints, so every
+edge is labelled with a full :class:`~repro.model.ids.RelationshipTypeId`.
+
+The class maintains the aggregate statistics the scoring measures consume:
+
+* per-type entity counts  — coverage key scoring ``Scov(τ)``;
+* per-relationship-type edge counts — coverage non-key scoring;
+* per-type-pair edge totals — random-walk edge weights ``w_ij``;
+* per-entity typed adjacency — entropy scoring and tuple materialization.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from ..exceptions import (
+    SchemaViolationError,
+    UnknownEntityError,
+    UnknownRelationshipTypeError,
+    UnknownTypeError,
+)
+from ..graph import DirectedMultigraph
+from .attributes import Direction, NonKeyAttribute
+from .ids import EntityId, RelationshipTypeId, TypeId
+
+
+class EntityGraph:
+    """A typed directed multigraph of entities and relationships.
+
+    Instances are usually constructed through
+    :class:`~repro.model.builder.EntityGraphBuilder` or loaded from a
+    :class:`~repro.store.triple_store.TripleStore`, but the mutation API
+    here is public and validating.
+    """
+
+    def __init__(self, name: str = "entity-graph") -> None:
+        self.name = name
+        self._graph = DirectedMultigraph()
+        self._types_of: Dict[EntityId, Set[TypeId]] = {}
+        self._entities_by_type: Dict[TypeId, Set[EntityId]] = {}
+        self._edge_counts: Counter = Counter()  # RelationshipTypeId -> count
+        # (entity, rel_type) -> multiset of neighbor entities, per direction.
+        self._out: Dict[Tuple[EntityId, RelationshipTypeId], List[EntityId]] = {}
+        self._in: Dict[Tuple[EntityId, RelationshipTypeId], List[EntityId]] = {}
+
+    # ------------------------------------------------------------------
+    # Entities and types
+    # ------------------------------------------------------------------
+    def add_entity(self, entity: EntityId, types: Iterable[TypeId]) -> None:
+        """Add an entity with one or more types (idempotent, types union)."""
+        type_set = set(types)
+        if not type_set:
+            raise SchemaViolationError(
+                f"entity {entity!r} must belong to at least one type"
+            )
+        self._graph.add_node(entity)
+        existing = self._types_of.setdefault(entity, set())
+        for type_name in type_set - existing:
+            existing.add(type_name)
+            self._entities_by_type.setdefault(type_name, set()).add(entity)
+
+    def has_entity(self, entity: EntityId) -> bool:
+        return entity in self._types_of
+
+    def types_of(self, entity: EntityId) -> FrozenSet[TypeId]:
+        """The set of types ``entity`` belongs to."""
+        try:
+            return frozenset(self._types_of[entity])
+        except KeyError:
+            raise UnknownEntityError(entity) from None
+
+    def entities(self) -> Iterator[EntityId]:
+        return iter(self._types_of)
+
+    def entity_types(self) -> List[TypeId]:
+        """All entity types, in first-seen order."""
+        return list(self._entities_by_type)
+
+    def entities_of_type(self, type_name: TypeId) -> FrozenSet[EntityId]:
+        """``T.τ`` — the set of entities bearing ``type_name``."""
+        try:
+            return frozenset(self._entities_by_type[type_name])
+        except KeyError:
+            raise UnknownTypeError(type_name) from None
+
+    def type_count(self, type_name: TypeId) -> int:
+        """``|{v : v has type τ}|`` — the coverage score numerator."""
+        try:
+            return len(self._entities_by_type[type_name])
+        except KeyError:
+            raise UnknownTypeError(type_name) from None
+
+    @property
+    def entity_count(self) -> int:
+        return len(self._types_of)
+
+    # ------------------------------------------------------------------
+    # Relationships
+    # ------------------------------------------------------------------
+    def add_relationship(
+        self,
+        source: EntityId,
+        target: EntityId,
+        rel_type: RelationshipTypeId,
+    ) -> None:
+        """Add a directed relationship of type ``rel_type``.
+
+        Validates the paper's schema invariant: the source entity must bear
+        ``rel_type.source_type`` and the target entity must bear
+        ``rel_type.target_type``.
+        """
+        if source not in self._types_of:
+            raise UnknownEntityError(source)
+        if target not in self._types_of:
+            raise UnknownEntityError(target)
+        if rel_type.source_type not in self._types_of[source]:
+            raise SchemaViolationError(
+                f"source {source!r} lacks type {rel_type.source_type!r} "
+                f"required by relationship type {rel_type}"
+            )
+        if rel_type.target_type not in self._types_of[target]:
+            raise SchemaViolationError(
+                f"target {target!r} lacks type {rel_type.target_type!r} "
+                f"required by relationship type {rel_type}"
+            )
+        self._graph.add_edge(source, target, rel_type)
+        self._edge_counts[rel_type] += 1
+        self._out.setdefault((source, rel_type), []).append(target)
+        self._in.setdefault((target, rel_type), []).append(source)
+
+    def relationship_types(self) -> List[RelationshipTypeId]:
+        """All relationship types with at least one edge, first-seen order."""
+        return list(self._edge_counts)
+
+    def relationship_count(self, rel_type: RelationshipTypeId) -> int:
+        """``|{e : e has type γ}|`` — the non-key coverage score."""
+        if rel_type not in self._edge_counts:
+            raise UnknownRelationshipTypeError(rel_type)
+        return self._edge_counts[rel_type]
+
+    @property
+    def edge_count(self) -> int:
+        return self._graph.edge_count
+
+    def relationships(self) -> Iterator[Tuple[EntityId, EntityId, RelationshipTypeId]]:
+        """Yield every relationship instance as ``(source, target, type)``."""
+        for source, target, _key, label in self._graph.edges():
+            yield source, target, label
+
+    # ------------------------------------------------------------------
+    # Typed adjacency (materialization + entropy scoring)
+    # ------------------------------------------------------------------
+    def targets(self, entity: EntityId, rel_type: RelationshipTypeId) -> List[EntityId]:
+        """Entities reached from ``entity`` via outgoing ``rel_type`` edges."""
+        if entity not in self._types_of:
+            raise UnknownEntityError(entity)
+        return list(self._out.get((entity, rel_type), ()))
+
+    def sources(self, entity: EntityId, rel_type: RelationshipTypeId) -> List[EntityId]:
+        """Entities reaching ``entity`` via incoming ``rel_type`` edges."""
+        if entity not in self._types_of:
+            raise UnknownEntityError(entity)
+        return list(self._in.get((entity, rel_type), ()))
+
+    def attribute_value(
+        self, entity: EntityId, attribute: NonKeyAttribute
+    ) -> FrozenSet[EntityId]:
+        """``t.γ`` — the (set-valued) value of ``entity`` on ``attribute``.
+
+        Definition 1: the set of entities incident from (OUT) or to (IN)
+        the tuple's key entity through edges of the attribute's type.
+        """
+        if attribute.direction is Direction.OUT:
+            return frozenset(self.targets(entity, attribute.rel_type))
+        return frozenset(self.sources(entity, attribute.rel_type))
+
+    # ------------------------------------------------------------------
+    # Aggregates for scoring
+    # ------------------------------------------------------------------
+    def type_pair_weights(self) -> Dict[Tuple[TypeId, TypeId], int]:
+        """``w_ij`` — total relationships between each unordered type pair.
+
+        Keys are unordered pairs normalized with ``sorted``; self-pairs
+        (τ, τ) accumulate self-loop relationship types.
+        """
+        weights: Counter = Counter()
+        for rel_type, count in self._edge_counts.items():
+            pair = tuple(sorted((rel_type.source_type, rel_type.target_type)))
+            weights[pair] += count
+        return dict(weights)
+
+    def stats(self) -> Dict[str, int]:
+        """Summary statistics in the shape of the paper's Table 2 rows."""
+        return {
+            "entities": self.entity_count,
+            "relationships": self.edge_count,
+            "entity_types": len(self._entities_by_type),
+            "relationship_types": len(self._edge_counts),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"EntityGraph(name={self.name!r}, entities={stats['entities']}, "
+            f"relationships={stats['relationships']}, "
+            f"types={stats['entity_types']}, "
+            f"rel_types={stats['relationship_types']})"
+        )

@@ -1,0 +1,40 @@
+"""Scoring measures for key attributes, non-key attributes and previews."""
+
+from .base import (
+    KEY_SCORERS,
+    NONKEY_SCORERS,
+    KeyScorer,
+    NonKeyScorer,
+    make_key_scorer,
+    make_nonkey_scorer,
+    register_key_scorer,
+    register_nonkey_scorer,
+)
+from .coverage import CoverageKeyScorer, CoverageNonKeyScorer
+from .entropy import (
+    DEFAULT_LOG_BASE,
+    EntropyNonKeyScorer,
+    attribute_entropy,
+    value_set_entropy,
+)
+from .preview_score import ScoringContext
+from .random_walk import RandomWalkKeyScorer
+
+__all__ = [
+    "CoverageKeyScorer",
+    "CoverageNonKeyScorer",
+    "DEFAULT_LOG_BASE",
+    "EntropyNonKeyScorer",
+    "KEY_SCORERS",
+    "KeyScorer",
+    "NONKEY_SCORERS",
+    "NonKeyScorer",
+    "RandomWalkKeyScorer",
+    "ScoringContext",
+    "attribute_entropy",
+    "make_key_scorer",
+    "make_nonkey_scorer",
+    "register_key_scorer",
+    "register_nonkey_scorer",
+    "value_set_entropy",
+]

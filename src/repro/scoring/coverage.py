@@ -1,0 +1,54 @@
+"""Coverage-based scoring measures (Sec. 3.2 and 3.3).
+
+* Key attribute: ``Scov(τ)`` = number of entities of type ``τ`` — a table
+  keyed on a populous type makes the preview "relevant to all those
+  entities".
+* Non-key attribute: ``Sτcov(γ)`` = number of relationship instances of
+  type ``γ``.  The measure is symmetric: the same relationship type scores
+  identically whether viewed outgoing or incoming (the paper notes
+  ``Sτcov(γ) ≡ Sτ'cov(γ)``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..model.attributes import NonKeyAttribute
+from ..model.entity_graph import EntityGraph
+from ..model.ids import TypeId
+from ..model.schema_graph import SchemaGraph
+from .base import KeyScorer, NonKeyScorer, register_key_scorer, register_nonkey_scorer
+
+
+@register_key_scorer
+class CoverageKeyScorer(KeyScorer):
+    """``Scov(τ) = |{v ∈ Vd : v has type τ}|``."""
+
+    name = "coverage"
+
+    def score_all(
+        self, schema: SchemaGraph, entity_graph: Optional[EntityGraph] = None
+    ) -> Dict[TypeId, float]:
+        return {
+            type_name: float(schema.entity_count(type_name))
+            for type_name in schema.entity_types()
+        }
+
+
+@register_nonkey_scorer
+class CoverageNonKeyScorer(NonKeyScorer):
+    """``Sτcov(γ) = |{e ∈ Ed : e has type γ}|`` (direction-symmetric)."""
+
+    name = "coverage"
+    requires_entity_graph = False
+
+    def score_candidates(
+        self,
+        key_type: TypeId,
+        schema: SchemaGraph,
+        entity_graph: Optional[EntityGraph] = None,
+    ) -> Dict[NonKeyAttribute, float]:
+        return {
+            attribute: float(schema.relationship_count(attribute.rel_type))
+            for attribute in schema.candidate_attributes(key_type)
+        }

@@ -1,0 +1,171 @@
+"""Preview score aggregation (Eq. 1 / Eq. 2) and the scoring context.
+
+The score of a preview table is the product of its key attribute's score
+and the sum of its non-key attributes' scores; the score of a preview is
+the sum of its tables' scores:
+
+    S(P)    = Σ_i S(P[i])                             (Eq. 1)
+    S(P[i]) = S(τ) × Σ_{γ ∈ P[i].nonkey} Sτ(γ)        (Eq. 2)
+
+:class:`ScoringContext` bundles a schema graph (and optionally the entity
+graph) with one key scorer and one non-key scorer, precomputes every score
+once — the paper assumes exactly this precomputation before discovery
+(Sec. 5) — and exposes the sorted candidate lists ``Γτ`` that Theorem 3
+makes sufficient for optimality.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..exceptions import ScoringError
+from ..model.attributes import NonKeyAttribute
+from ..model.entity_graph import EntityGraph
+from ..model.ids import TypeId
+from ..model.schema_graph import SchemaGraph
+from .base import (
+    KeyScorer,
+    NonKeyScorer,
+    make_key_scorer,
+    make_nonkey_scorer,
+)
+
+
+class ScoringContext:
+    """Precomputed key/non-key scores over one dataset.
+
+    Parameters
+    ----------
+    schema:
+        The schema graph (always required).
+    entity_graph:
+        The underlying entity graph; required by entity-level measures
+        (entropy), optional otherwise.
+    key_scorer, nonkey_scorer:
+        Registry names (``"coverage"``, ``"random_walk"``, ``"entropy"``)
+        or scorer instances.
+    """
+
+    def __init__(
+        self,
+        schema: SchemaGraph,
+        entity_graph: Optional[EntityGraph] = None,
+        key_scorer: Union[str, KeyScorer] = "coverage",
+        nonkey_scorer: Union[str, NonKeyScorer] = "coverage",
+    ) -> None:
+        self.schema = schema
+        self.entity_graph = entity_graph
+        self._key_scorer = (
+            make_key_scorer(key_scorer) if isinstance(key_scorer, str) else key_scorer
+        )
+        self._nonkey_scorer = (
+            make_nonkey_scorer(nonkey_scorer)
+            if isinstance(nonkey_scorer, str)
+            else nonkey_scorer
+        )
+        if self._nonkey_scorer.requires_entity_graph and entity_graph is None:
+            raise ScoringError(
+                f"non-key scorer {self._nonkey_scorer.name!r} requires an "
+                f"entity graph"
+            )
+        self._key_scores: Dict[TypeId, float] = self._key_scorer.score_all(
+            schema, entity_graph
+        )
+        self._nonkey_scores: Dict[TypeId, Dict[NonKeyAttribute, float]] = {}
+        self._sorted_candidates: Dict[TypeId, List[Tuple[NonKeyAttribute, float]]] = {}
+        for type_name in schema.entity_types():
+            scores = self._nonkey_scorer.score_candidates(
+                type_name, schema, entity_graph
+            )
+            self._nonkey_scores[type_name] = scores
+            ranked = sorted(
+                scores.items(), key=lambda item: (-item[1], str(item[0]))
+            )
+            self._sorted_candidates[type_name] = ranked
+
+    # ------------------------------------------------------------------
+    # Names (for reports)
+    # ------------------------------------------------------------------
+    @property
+    def key_scorer_name(self) -> str:
+        return self._key_scorer.name
+
+    @property
+    def nonkey_scorer_name(self) -> str:
+        return self._nonkey_scorer.name
+
+    # ------------------------------------------------------------------
+    # Scores
+    # ------------------------------------------------------------------
+    def key_score(self, type_name: TypeId) -> float:
+        """``S(τ)`` — the key attribute score of an entity type."""
+        try:
+            return self._key_scores[type_name]
+        except KeyError:
+            from ..exceptions import UnknownTypeError
+
+            raise UnknownTypeError(type_name) from None
+
+    def key_scores(self) -> Dict[TypeId, float]:
+        return dict(self._key_scores)
+
+    def nonkey_score(self, key_type: TypeId, attribute: NonKeyAttribute) -> float:
+        """``Sτ(γ)`` — the non-key attribute score relative to ``key_type``."""
+        try:
+            return self._nonkey_scores[key_type][attribute]
+        except KeyError:
+            raise ScoringError(
+                f"{attribute} is not a candidate attribute of {key_type!r}"
+            ) from None
+
+    def sorted_candidates(self, key_type: TypeId) -> List[Tuple[NonKeyAttribute, float]]:
+        """``Γτ`` sorted by descending score (ties broken lexically).
+
+        This is the list Theorem 3 guarantees optimal tables draw their
+        top-m prefix from.
+        """
+        try:
+            return list(self._sorted_candidates[key_type])
+        except KeyError:
+            from ..exceptions import UnknownTypeError
+
+            raise UnknownTypeError(key_type) from None
+
+    def ranked_key_types(self) -> List[Tuple[TypeId, float]]:
+        """All entity types by descending key score (ties lexically)."""
+        return sorted(
+            self._key_scores.items(), key=lambda item: (-item[1], str(item[0]))
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation (Eq. 1 / Eq. 2)
+    # ------------------------------------------------------------------
+    def table_score(
+        self, key_type: TypeId, attributes: Iterable[NonKeyAttribute]
+    ) -> float:
+        """``S(T) = S(τ) × Σ Sτ(γ)`` (Eq. 2)."""
+        total = 0.0
+        for attribute in attributes:
+            total += self.nonkey_score(key_type, attribute)
+        return self.key_score(key_type) * total
+
+    def top_m_table_score(self, key_type: TypeId, m: int) -> float:
+        """Score of the table using the top-``m`` candidates of ``key_type``.
+
+        Efficient building block for the discovery algorithms: with the
+        sorted list cached this is an O(m) prefix sum.
+        """
+        if m < 0:
+            raise ScoringError(f"m must be non-negative, got {m}")
+        ranked = self._sorted_candidates.get(key_type, [])
+        prefix = ranked[:m]
+        return self.key_score(key_type) * sum(score for _attr, score in prefix)
+
+    def preview_score(
+        self, tables: Iterable[Tuple[TypeId, Iterable[NonKeyAttribute]]]
+    ) -> float:
+        """``S(P) = Σ S(P[i])`` (Eq. 1) over ``(key, attributes)`` pairs."""
+        return sum(
+            self.table_score(key_type, attributes)
+            for key_type, attributes in tables
+        )

@@ -1,0 +1,25 @@
+"""Triple-store substrate: indexed storage, pattern queries, persistence."""
+
+from .persistence import load_jsonl, load_tsv, save_jsonl, save_tsv
+from .query import is_variable, match_pattern, query, select
+from .schema_extract import (
+    entity_graph_from_store,
+    schema_graph_from_store,
+    store_from_entity_graph,
+)
+from .triple_store import TripleStore
+
+__all__ = [
+    "TripleStore",
+    "entity_graph_from_store",
+    "is_variable",
+    "load_jsonl",
+    "load_tsv",
+    "match_pattern",
+    "query",
+    "save_jsonl",
+    "save_tsv",
+    "schema_graph_from_store",
+    "select",
+    "store_from_entity_graph",
+]

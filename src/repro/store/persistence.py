@@ -1,0 +1,144 @@
+"""Dataset persistence: TSV and JSON-Lines round-trips for triple stores.
+
+Two interchangeable formats:
+
+* **TSV** — one ``subject<TAB>predicate<TAB>object<TAB>count`` row per
+  distinct triple; tabs/newlines/backslashes in terms are escaped.  This is
+  the compact format the benchmark datasets ship in.
+* **JSONL** — one JSON object per distinct triple; trivially greppable and
+  robust to arbitrary term content.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, Union
+
+from ..exceptions import PersistenceError
+from ..model.triples import Triple
+from .triple_store import TripleStore
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_ESCAPES = {"\\": "\\\\", "\t": "\\t", "\n": "\\n", "\r": "\\r"}
+
+
+def _escape(term: str) -> str:
+    out = term
+    for raw, escaped in _ESCAPES.items():
+        out = out.replace(raw, escaped)
+    return out
+
+
+def _unescape(term: str) -> str:
+    out = []
+    i = 0
+    while i < len(term):
+        ch = term[i]
+        if ch == "\\" and i + 1 < len(term):
+            nxt = term[i + 1]
+            mapped = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}.get(nxt)
+            if mapped is not None:
+                out.append(mapped)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# TSV
+# ----------------------------------------------------------------------
+def save_tsv(store: TripleStore, path: PathLike) -> int:
+    """Write the store as TSV; returns the number of rows written."""
+    rows = 0
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            for triple, count in sorted(store.triples()):
+                handle.write(
+                    f"{_escape(triple.subject)}\t{_escape(triple.predicate)}\t"
+                    f"{_escape(triple.object)}\t{count}\n"
+                )
+                rows += 1
+    except OSError as exc:
+        raise PersistenceError(f"cannot write {path!r}: {exc}") from exc
+    return rows
+
+
+def load_tsv(path: PathLike) -> TripleStore:
+    """Read a TSV file written by :func:`save_tsv`."""
+    store = TripleStore()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                parts = line.split("\t")
+                if len(parts) != 4:
+                    raise PersistenceError(
+                        f"{path!s}:{line_number}: expected 4 tab-separated "
+                        f"fields, got {len(parts)}"
+                    )
+                subject, predicate, obj, count_text = parts
+                try:
+                    count = int(count_text)
+                except ValueError:
+                    raise PersistenceError(
+                        f"{path!s}:{line_number}: bad count {count_text!r}"
+                    ) from None
+                store.add(
+                    Triple(_unescape(subject), _unescape(predicate), _unescape(obj)),
+                    count=count,
+                )
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {path!r}: {exc}") from exc
+    return store
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def save_jsonl(store: TripleStore, path: PathLike) -> int:
+    """Write the store as JSON-Lines; returns the number of rows written."""
+    rows = 0
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            for triple, count in sorted(store.triples()):
+                record = {
+                    "s": triple.subject,
+                    "p": triple.predicate,
+                    "o": triple.object,
+                    "n": count,
+                }
+                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+                rows += 1
+    except OSError as exc:
+        raise PersistenceError(f"cannot write {path!r}: {exc}") from exc
+    return rows
+
+
+def load_jsonl(path: PathLike) -> TripleStore:
+    """Read a JSONL file written by :func:`save_jsonl`."""
+    store = TripleStore()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    store.add(
+                        Triple(record["s"], record["p"], record["o"]),
+                        count=int(record.get("n", 1)),
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                    raise PersistenceError(
+                        f"{path!s}:{line_number}: malformed record: {exc}"
+                    ) from exc
+    except OSError as exc:
+        raise PersistenceError(f"cannot read {path!r}: {exc}") from exc
+    return store

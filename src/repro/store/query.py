@@ -1,0 +1,118 @@
+"""A small pattern-query layer over :class:`TripleStore`.
+
+Supports conjunctive patterns with variables (strings starting with ``?``)
+evaluated by index-backed nested-loop joins with a greedy most-selective-
+first ordering.  This is intentionally minimal — enough to express the
+exploratory lookups the examples and the schema extractor need, in the
+spirit of "load the dump into a database and query it" (Sec. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import StoreError
+from ..model.triples import Triple
+from .triple_store import TripleStore
+
+Binding = Dict[str, str]
+Pattern = Tuple[str, str, str]
+
+
+def is_variable(term: str) -> bool:
+    """Variables are ``?``-prefixed non-empty names."""
+    return isinstance(term, str) and term.startswith("?") and len(term) > 1
+
+
+def _substitute(pattern: Pattern, binding: Binding) -> Pattern:
+    return tuple(
+        binding.get(term, term) if is_variable(term) else term for term in pattern
+    )  # type: ignore[return-value]
+
+
+def _selectivity(store: TripleStore, pattern: Pattern, binding: Binding) -> int:
+    """Estimated result size used for greedy join ordering (lower = better)."""
+    s, p, o = _substitute(pattern, binding)
+    bound = sum(not is_variable(term) for term in (s, p, o))
+    if bound == 3:
+        return 0
+    if bound == 0:
+        return store.distinct_count
+    # A crude but effective estimate: count matches up to a small cap.
+    cap = 64
+    matches = 0
+    for _ in store.scan(
+        None if is_variable(s) else s,
+        None if is_variable(p) else p,
+        None if is_variable(o) else o,
+    ):
+        matches += 1
+        if matches >= cap:
+            break
+    return matches
+
+
+def match_pattern(
+    store: TripleStore, pattern: Pattern, binding: Optional[Binding] = None
+) -> Iterator[Binding]:
+    """Yield extensions of ``binding`` satisfying one triple pattern."""
+    binding = dict(binding or {})
+    s, p, o = _substitute(pattern, binding)
+    scan = store.scan(
+        None if is_variable(s) else s,
+        None if is_variable(p) else p,
+        None if is_variable(o) else o,
+    )
+    for triple in scan:
+        extended = dict(binding)
+        ok = True
+        for term, value in zip((s, p, o), triple):
+            if is_variable(term):
+                if term in extended and extended[term] != value:
+                    ok = False
+                    break
+                extended[term] = value
+        if ok:
+            yield extended
+
+
+def query(store: TripleStore, patterns: Sequence[Pattern]) -> List[Binding]:
+    """Evaluate a conjunctive query; returns all variable bindings.
+
+    Patterns are reordered greedily by estimated selectivity after each
+    join step.  Raises :class:`StoreError` on an empty pattern list.
+    """
+    if not patterns:
+        raise StoreError("query requires at least one pattern")
+    remaining = list(patterns)
+    results: List[Binding] = [{}]
+    while remaining:
+        # Pick the most selective pattern under current bindings (use the
+        # first binding as the representative; exact ordering only affects
+        # performance, not correctness).
+        representative = results[0] if results else {}
+        remaining.sort(key=lambda pat: _selectivity(store, pat, representative))
+        pattern = remaining.pop(0)
+        next_results: List[Binding] = []
+        for binding in results:
+            next_results.extend(match_pattern(store, pattern, binding))
+        results = next_results
+        if not results:
+            return []
+    return results
+
+
+def select(
+    store: TripleStore, patterns: Sequence[Pattern], variables: Sequence[str]
+) -> List[Tuple[str, ...]]:
+    """Evaluate a query and project the given variables (with duplicates)."""
+    for var in variables:
+        if not is_variable(var):
+            raise StoreError(f"projection term {var!r} is not a variable")
+    rows = []
+    for binding in query(store, patterns):
+        try:
+            rows.append(tuple(binding[var] for var in variables))
+        except KeyError as exc:
+            raise StoreError(f"unbound projection variable: {exc}") from None
+    return rows

@@ -1,0 +1,195 @@
+"""An in-memory indexed triple store.
+
+The paper imports the Freebase dump into MySQL before deriving the schema
+graph and scores.  This module is our storage substrate: a triple store
+with the three classical permutation indexes (SPO, POS, OSP) so that every
+single-variable pattern scan is an index lookup rather than a full scan.
+
+The store is deliberately duplicate-preserving at the *relationship* level
+when used through :mod:`repro.store.schema_extract` (entity graphs are
+multigraphs), so triples carry multiplicity: the same (s, p, o) may be
+asserted multiple times and each assertion counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..exceptions import StoreError
+from ..model.triples import Triple
+
+_WILDCARD = None
+
+
+class TripleStore:
+    """Multiset of triples with SPO / POS / OSP permutation indexes.
+
+    ``add``/``remove`` are O(1) amortized; ``scan`` with any combination of
+    bound terms uses the most selective available index.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+        # index maps: first term -> second term -> set of third terms
+        self._spo: Dict[str, Dict[str, Set[str]]] = {}
+        self._pos: Dict[str, Dict[str, Set[str]]] = {}
+        self._osp: Dict[str, Dict[str, Set[str]]] = {}
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple, count: int = 1) -> None:
+        """Assert ``triple`` ``count`` times."""
+        if count <= 0:
+            raise StoreError(f"count must be positive, got {count}")
+        s, p, o = triple
+        self._counts[triple] += count
+        self._size += count
+        self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+
+    def add_all(self, triples: Iterable[Triple]) -> None:
+        for triple in triples:
+            self.add(triple)
+
+    def remove(self, triple: Triple, count: int = 1) -> None:
+        """Retract ``triple`` ``count`` times; removing absent triples errors."""
+        existing = self._counts.get(triple, 0)
+        if existing < count:
+            raise StoreError(
+                f"cannot remove {count} of {triple!r}; only {existing} asserted"
+            )
+        self._counts[triple] -= count
+        self._size -= count
+        if self._counts[triple] == 0:
+            del self._counts[triple]
+            s, p, o = triple
+            self._spo[s][p].discard(o)
+            if not self._spo[s][p]:
+                del self._spo[s][p]
+                if not self._spo[s]:
+                    del self._spo[s]
+            self._pos[p][o].discard(s)
+            if not self._pos[p][o]:
+                del self._pos[p][o]
+                if not self._pos[p]:
+                    del self._pos[p]
+            self._osp[o][s].discard(p)
+            if not self._osp[o][s]:
+                del self._osp[o][s]
+                if not self._osp[o]:
+                    del self._osp[o]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def count(self, triple: Triple) -> int:
+        """Multiplicity of an exact triple."""
+        return self._counts.get(triple, 0)
+
+    def __len__(self) -> int:
+        """Total assertions (with multiplicity)."""
+        return self._size
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._counts
+
+    def triples(self) -> Iterator[Tuple[Triple, int]]:
+        """Yield ``(triple, multiplicity)`` pairs."""
+        return iter(self._counts.items())
+
+    def subjects(self) -> Iterator[str]:
+        return iter(self._spo)
+
+    def predicates(self) -> Iterator[str]:
+        return iter(self._pos)
+
+    def objects(self) -> Iterator[str]:
+        return iter(self._osp)
+
+    # ------------------------------------------------------------------
+    # Pattern scans
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        subject: Optional[str] = _WILDCARD,
+        predicate: Optional[str] = _WILDCARD,
+        object: Optional[str] = _WILDCARD,
+    ) -> Iterator[Triple]:
+        """Yield distinct triples matching the pattern (None = wildcard).
+
+        Multiplicity is available via :meth:`count`; ``scan_counted``
+        yields it inline.
+        """
+        s_bound = subject is not _WILDCARD
+        p_bound = predicate is not _WILDCARD
+        o_bound = object is not _WILDCARD
+
+        if s_bound and p_bound and o_bound:
+            triple = Triple(subject, predicate, object)
+            if triple in self._counts:
+                yield triple
+            return
+        if s_bound and p_bound:
+            for o in self._spo.get(subject, {}).get(predicate, ()):
+                yield Triple(subject, predicate, o)
+            return
+        if p_bound and o_bound:
+            for s in self._pos.get(predicate, {}).get(object, ()):
+                yield Triple(s, predicate, object)
+            return
+        if o_bound and s_bound:
+            for p in self._osp.get(object, {}).get(subject, ()):
+                yield Triple(subject, p, object)
+            return
+        if s_bound:
+            for p, objects in self._spo.get(subject, {}).items():
+                for o in objects:
+                    yield Triple(subject, p, o)
+            return
+        if p_bound:
+            for o, subjects in self._pos.get(predicate, {}).items():
+                for s in subjects:
+                    yield Triple(s, predicate, o)
+            return
+        if o_bound:
+            for s, predicates in self._osp.get(object, {}).items():
+                for p in predicates:
+                    yield Triple(s, p, object)
+            return
+        for triple in self._counts:
+            yield triple
+
+    def scan_counted(
+        self,
+        subject: Optional[str] = _WILDCARD,
+        predicate: Optional[str] = _WILDCARD,
+        object: Optional[str] = _WILDCARD,
+    ) -> Iterator[Tuple[Triple, int]]:
+        """Like :meth:`scan` but yields ``(triple, multiplicity)``."""
+        for triple in self.scan(subject, predicate, object):
+            yield triple, self._counts[triple]
+
+    def predicate_cardinality(self, predicate: str) -> int:
+        """Total assertions (with multiplicity) under ``predicate``.
+
+        This is the aggregate the coverage-based non-key scorer reads.
+        """
+        total = 0
+        for o, subjects in self._pos.get(predicate, {}).items():
+            for s in subjects:
+                total += self._counts[Triple(s, predicate, o)]
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TripleStore(assertions={self._size}, "
+            f"distinct={self.distinct_count})"
+        )

@@ -1,0 +1,125 @@
+"""Tests for dataset profiling, the TPC-E validation fixture, and reports."""
+
+import pytest
+
+from repro.analysis import (
+    DistributionSummary,
+    estimate_zipf_exponent,
+    profile_dataset,
+    profile_report,
+    schema_topology,
+)
+from repro.baselines import YPS09Summarizer
+from repro.datasets.tpce_mini import (
+    TPCE_CORE,
+    TPCE_LOOKUPS,
+    TPCE_TYPES,
+    build_tpce_mini,
+)
+from repro.model import SchemaGraph
+
+
+class TestDistributionSummary:
+    def test_basic(self):
+        summary = DistributionSummary.of([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert summary.median == 3.0
+        assert summary.mean == 22.0
+
+    def test_empty(self):
+        summary = DistributionSummary.of([])
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+
+class TestZipfEstimate:
+    def test_recovers_exponent(self):
+        populations = [round(10000 / (i + 1) ** 1.2) for i in range(30)]
+        estimate = estimate_zipf_exponent(populations)
+        assert estimate == pytest.approx(1.2, abs=0.15)
+
+    def test_degenerate_zero(self):
+        assert estimate_zipf_exponent([5, 5, 5]) == 0.0
+        assert estimate_zipf_exponent([7]) == 0.0
+        assert estimate_zipf_exponent([]) == 0.0
+
+
+class TestProfiling:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        return profile_dataset(build_tpce_mini())
+
+    def test_sizes(self, profile):
+        assert profile.entities == sum(pop for _t, pop in TPCE_TYPES)
+        assert profile.relationships > 0
+
+    def test_top_types_are_facts(self, profile):
+        top = [name for name, _count in profile.top_types(3)]
+        assert top[0] == "TRADE"
+
+    def test_topology_sane(self, profile):
+        topo = profile.topology
+        assert topo.entity_types == len(TPCE_TYPES)
+        assert topo.diameter >= 2
+        assert 0.0 < topo.density < 1.0
+        assert topo.pairs_within(topo.diameter) == pytest.approx(1.0)
+        assert topo.pairs_within(0) < 1.0
+
+    def test_report_renders(self, profile):
+        text = profile_report(profile)
+        assert "tpce-mini" in text
+        assert "TRADE" in text
+        assert "diameter" in text
+
+    def test_topology_of_schema_only(self, fig1_schema):
+        topo = schema_topology(fig1_schema)
+        assert topo.entity_types == 6
+        assert topo.relationship_types == 5
+
+
+class TestYPS09OnTpce:
+    """The paper validated its YPS09 reimplementation on TPC-E; ours is
+    validated on the miniature TPC-E-like fixture."""
+
+    @pytest.fixture(scope="class")
+    def summarizer(self):
+        graph = build_tpce_mini()
+        schema = SchemaGraph.from_entity_graph(graph)
+        return YPS09Summarizer(graph, schema)
+
+    def test_core_tables_outrank_lookups(self, summarizer):
+        ranking = summarizer.ranked_types()
+        # The entire top-6 consists of core tables (TRADE, accounts,
+        # securities, ...) — no lookup table sneaks in.
+        assert set(ranking[:6]) <= set(TPCE_CORE), ranking
+        # Pure enumeration lookups sit in the bottom half.
+        positions = {name: i for i, name in enumerate(ranking)}
+        for lookup in ("STATUS TYPE", "TRADE TYPE", "EXCHANGE", "SECTOR"):
+            assert positions[lookup] >= len(ranking) // 2, ranking
+
+    def test_trade_among_top(self, summarizer):
+        assert "TRADE" in summarizer.ranked_types()[:3]
+
+    def test_summary_spans_regions(self, summarizer):
+        summary = summarizer.summarize(k=5)
+        # Centers are not five lookup tables.
+        assert sum(1 for c in summary.centers if c in TPCE_LOOKUPS) <= 1
+
+
+class TestReport:
+    def test_domain_report_film(self):
+        from repro.eval.report import domain_report
+
+        text = domain_report("film")
+        assert "## Domain: film" in text
+        assert "coverage" in text and "YPS09" in text
+        assert "| Tight |" in text
+
+    def test_full_report_multiple(self):
+        from repro.eval.report import full_report
+
+        text = full_report(["people"])
+        assert text.startswith("# Preview tables")
+        assert "## Domain: people" in text

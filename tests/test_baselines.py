@@ -1,0 +1,194 @@
+"""Tests for repro.baselines: relationalization, YPS09, curated previews."""
+
+import pytest
+
+from repro.baselines import (
+    YPS09Summarizer,
+    expert_preview,
+    gold_preview,
+    present_schema_graph,
+    relationalize,
+)
+from repro.baselines.yps09 import (
+    column_entropy,
+    information_content,
+    join_graph,
+    table_importance,
+    weighted_k_center,
+)
+from repro.baselines.yps09.kcenter import assign_clusters
+from repro.baselines.yps09.similarity import distance_matrix
+from repro.datasets import load_domain, load_schema
+from repro.exceptions import ReproError
+from repro.model import SchemaGraph
+
+
+@pytest.fixture(scope="module")
+def fig1_tables(request):
+    fig1_graph = request.getfixturevalue("fig1_graph")
+    schema = SchemaGraph.from_entity_graph(fig1_graph)
+    return relationalize(fig1_graph, schema)
+
+
+class TestRelationalize:
+    def test_one_table_per_type(self, fig1_graph, fig1_schema):
+        tables = relationalize(fig1_graph, fig1_schema)
+        assert set(tables) == set(fig1_schema.entity_types())
+
+    def test_row_counts(self, fig1_graph, fig1_schema):
+        tables = relationalize(fig1_graph, fig1_schema)
+        assert tables["FILM"].row_count == 4
+        assert tables["AWARD"].row_count == 2
+
+    def test_column_per_incident_rel(self, fig1_graph, fig1_schema):
+        tables = relationalize(fig1_graph, fig1_schema)
+        film = tables["FILM"]
+        assert len(film.columns) == len(fig1_schema.candidate_attributes("FILM"))
+        assert film.width == len(film.columns) + 1
+
+    def test_histograms_count_entities(self, fig1_graph, fig1_schema):
+        tables = relationalize(fig1_graph, fig1_schema)
+        film = tables["FILM"]
+        genres = next(c for c in film.columns if c.attribute.name == "Genres")
+        assert genres.non_empty == 3  # Hancock has no genre
+        assert genres.distinct_values == 2
+
+
+class TestYPS09Importance:
+    def test_column_entropy_zero_for_constant(self, fig1_graph, fig1_schema):
+        tables = relationalize(fig1_graph, fig1_schema)
+        award = tables["AWARD"]
+        # Each award has exactly one distinct winner set -> entropy log(2)
+        # over two distinct values, not zero; but a single-valued column is 0.
+        for column in award.columns:
+            assert column_entropy(column) >= 0.0
+
+    def test_information_content_grows_with_rows(self, fig1_tables):
+        assert information_content(fig1_tables["FILM"]) > information_content(
+            fig1_tables["AWARD"]
+        )
+
+    def test_join_graph_connects_joined_tables(self, fig1_tables):
+        graph = join_graph(fig1_tables)
+        assert graph.has_edge("FILM", "FILM ACTOR")
+        assert not graph.has_edge("FILM GENRE", "AWARD")
+
+    def test_importance_sums_to_one(self, fig1_tables):
+        importance = table_importance(fig1_tables)
+        assert sum(importance.values()) == pytest.approx(1.0)
+
+    def test_film_most_important(self, fig1_tables):
+        importance = table_importance(fig1_tables)
+        assert max(importance, key=importance.get) == "FILM"
+
+
+class TestKCenter:
+    DIST = {
+        "a": {"a": 0, "b": 1, "c": 2, "d": 3},
+        "b": {"a": 1, "b": 0, "c": 1, "d": 2},
+        "c": {"a": 2, "b": 1, "c": 0, "d": 1},
+        "d": {"a": 3, "b": 2, "c": 1, "d": 0},
+    }
+    WEIGHTS = {"a": 10.0, "b": 1.0, "c": 1.0, "d": 5.0}
+
+    def test_first_center_most_important(self):
+        centers = weighted_k_center(["a", "b", "c", "d"], self.WEIGHTS, self.DIST, 2)
+        assert centers[0] == "a"
+
+    def test_second_center_weighted_far(self):
+        centers = weighted_k_center(["a", "b", "c", "d"], self.WEIGHTS, self.DIST, 2)
+        assert centers[1] == "d"  # weight 5 x dist 3 beats others
+
+    def test_assignment_nearest(self):
+        centers = ["a", "d"]
+        assignment = assign_clusters(["a", "b", "c", "d"], centers, self.DIST)
+        assert assignment["b"] == "a"
+        assert assignment["c"] == "d"
+
+    def test_k_validation(self):
+        with pytest.raises(ReproError):
+            weighted_k_center(["a"], self.WEIGHTS, self.DIST, 0)
+        with pytest.raises(ReproError):
+            weighted_k_center(["a"], self.WEIGHTS, self.DIST, 5)
+
+
+class TestYPS09EndToEnd:
+    def test_summarize_film_domain(self):
+        graph = load_domain("architecture")
+        schema = load_schema("architecture")
+        summarizer = YPS09Summarizer(graph, schema)
+        summary = summarizer.summarize(k=4)
+        assert len(summary.centers) == 4
+        # Every type is assigned to some center.
+        assert set(summary.assignment) == set(schema.entity_types())
+        # Summary tables are full-width.
+        for center in summary.centers:
+            assert len(summary.attributes[center]) == len(
+                schema.candidate_attributes(center)
+            )
+
+    def test_ranked_types_deterministic(self):
+        graph = load_domain("architecture")
+        schema = load_schema("architecture")
+        a = YPS09Summarizer(graph, schema).ranked_types()
+        b = YPS09Summarizer(graph, schema).ranked_types()
+        assert a == b
+
+    def test_distance_matrix_metric_properties(self):
+        graph = load_domain("basketball")
+        schema = load_schema("basketball")
+        tables = relationalize(graph, schema)
+        matrix = distance_matrix(tables)
+        for a in matrix:
+            assert matrix[a][a] == 0
+            for b in matrix[a]:
+                assert matrix[a][b] == matrix[b][a]
+                assert matrix[a][b] >= 0
+
+
+class TestCuratedPreviews:
+    def test_gold_preview_resolves(self):
+        schema = load_schema("film")
+        preview = gold_preview("film", schema)
+        assert preview.table_count == 6
+        keys = set(preview.keys())
+        assert "FILM" in keys and "FILM ACTOR" in keys
+
+    def test_gold_preview_attributes_match_table10(self):
+        schema = load_schema("film")
+        preview = gold_preview("film", schema)
+        film = preview.table_for("FILM")
+        assert {attr.name for attr in film.nonkey} == {
+            "Directed By",
+            "Tagline",
+            "Initial Release Date",
+        }
+
+    def test_expert_preview_overlap(self):
+        from repro.datasets import expert_key_attributes, gold_key_attributes
+
+        schema = load_schema("music")
+        preview = expert_preview("music", schema)
+        gold = set(gold_key_attributes("music"))
+        expert = set(preview.keys())
+        # Tables 22/23: music has the highest overlap (5 of 6).
+        assert len(gold & expert) == 5
+
+    def test_expert_preview_width_capped(self):
+        schema = load_schema("tv")
+        preview = expert_preview("tv", schema, attributes_per_table=2)
+        assert all(table.width <= 2 for table in preview.tables)
+
+
+class TestSchemaGraphBaseline:
+    def test_presentation_sizes(self, fig1_schema):
+        p = present_schema_graph(fig1_schema)
+        assert len(p.entity_types) == 6
+        assert len(p.relationship_types) == 5
+        assert p.display_items == 11
+
+    def test_text_mentions_everything(self, fig1_schema):
+        p = present_schema_graph(fig1_schema)
+        assert "FILM" in p.text
+        assert "Genres" in p.text
+        assert "[5]" in p.text  # Genres edge weight

@@ -1,0 +1,131 @@
+"""CLI, bench-utility and end-to-end integration tests."""
+
+import pytest
+
+from repro.bench import Timing, format_series, format_table, speedup, time_callable
+from repro.cli import main
+
+
+class TestCli:
+    def test_domain_preview(self, capsys):
+        assert main(["--domain", "basketball", "--tables", "2", "--attrs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "preview: k=2 n=4" in out
+        assert "BASKETBALL" in out
+
+    def test_tight_flag(self, capsys):
+        code = main(
+            ["--domain", "architecture", "-k", "2", "-n", "4", "--tight", "2"]
+        )
+        assert code == 0
+        assert "apriori" in capsys.readouterr().out
+
+    def test_file_source(self, tmp_path, capsys):
+        from repro.datasets import load_domain, save_domain
+
+        path = tmp_path / "bb.tsv"
+        save_domain(load_domain("basketball"), path)
+        assert main(["--file", str(path), "-k", "2", "-n", "4"]) == 0
+
+    def test_infeasible_errors_cleanly(self, capsys):
+        code = main(
+            ["--domain", "basketball", "-k", "5", "-n", "10", "--diverse", "5"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_scorer_flags(self, capsys):
+        code = main(
+            [
+                "--domain",
+                "basketball",
+                "-k",
+                "2",
+                "-n",
+                "4",
+                "--key-scorer",
+                "random_walk",
+                "--nonkey-scorer",
+                "entropy",
+            ]
+        )
+        assert code == 0
+
+
+class TestBenchUtils:
+    def test_time_callable_floors_at_1ms(self):
+        timing = time_callable(lambda: None, label="noop", runs=2)
+        assert timing.milliseconds >= 1.0
+        assert timing.runs == 2
+
+    def test_speedup(self):
+        base = Timing("slow", 100.0, 3)
+        fast = Timing("fast", 10.0, 3)
+        assert speedup(base, fast) == pytest.approx(10.0)
+
+    def test_format_table(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.23456], ["b", 2]], title="demo"
+        )
+        assert "demo" in text
+        assert "alpha" in text
+        assert "1.235" in text
+
+    def test_format_series(self):
+        text = format_series("dp", [1, 2], [0.5, 0.25])
+        assert text == "dp: 1=0.500 2=0.250"
+
+    def test_results_dir_override(self, tmp_path, monkeypatch):
+        from repro.bench import results_dir, write_result
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "out"))
+        path = write_result("probe.txt", "hello")
+        assert path.read_text() == "hello\n"
+        assert path.parent == results_dir()
+
+
+class TestEndToEnd:
+    def test_store_to_preview_pipeline(self, tmp_path):
+        """Full pipeline: generate -> persist -> reload -> discover -> render."""
+        from repro.core import discover_preview, render_preview
+        from repro.datasets import load_domain, load_domain_file, save_domain
+
+        source = load_domain("architecture")
+        path = tmp_path / "arch.jsonl"
+        save_domain(source, path)
+        graph = load_domain_file(path, name="architecture")
+        result = discover_preview(graph, k=3, n=7, key_scorer="random_walk")
+        assert result.preview.table_count == 3
+        assert result.preview.attribute_count <= 7
+        text = render_preview(result.preview, graph, sample_size=2)
+        assert text.count("+-") >= 3  # three rendered tables
+
+    def test_all_scorer_combinations_on_domain(self):
+        from repro.core import discover_preview
+        from repro.datasets import load_domain
+
+        graph = load_domain("basketball")
+        scores = {}
+        for key_scorer in ("coverage", "random_walk"):
+            for nonkey_scorer in ("coverage", "entropy"):
+                result = discover_preview(
+                    graph,
+                    k=2,
+                    n=5,
+                    key_scorer=key_scorer,
+                    nonkey_scorer=nonkey_scorer,
+                )
+                scores[(key_scorer, nonkey_scorer)] = result.score
+        assert len(scores) == 4
+        assert all(score > 0 for score in scores.values())
+
+    def test_gold_domain_discovery_matches_gold_keys(self):
+        """Coverage discovery on the film domain recovers gold entrance types."""
+        from repro.core import discover_preview
+        from repro.datasets import gold_key_attributes, load_domain
+
+        graph = load_domain("film")
+        result = discover_preview(graph, k=6, n=9)
+        gold = set(gold_key_attributes("film"))
+        found = set(result.preview.keys())
+        assert len(gold & found) >= 4

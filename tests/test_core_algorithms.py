@@ -1,0 +1,186 @@
+"""Tests for the three discovery algorithms (Alg. 1-3) and their agreement.
+
+The key invariants, each checked on the Fig. 1 graph, on random schema
+graphs and on a generated domain:
+
+* the DP and the brute force find previews with *equal scores* for every
+  concise constraint (both are exact optimizers);
+* the Apriori algorithm and the distance-checked brute force agree for
+  every tight/diverse constraint;
+* Theorem 3: every table in a discovered preview uses a top-m prefix of
+  its sorted candidate list.
+"""
+
+import pytest
+
+from repro.core import (
+    DistanceConstraint,
+    SizeConstraint,
+    apriori_discover,
+    best_preview_for_keys,
+    brute_force_discover,
+    dynamic_programming_discover,
+    eligible_key_types,
+)
+from repro.core.candidates import upper_bound_for_keys
+from repro.datasets import random_schema_graph
+from repro.scoring import ScoringContext
+
+
+def assert_theorem3(context, preview):
+    """Every table's attributes are a prefix of the sorted candidates."""
+    for table in preview.tables:
+        ranked = context.sorted_candidates(table.key)
+        prefix_scores = [score for _attr, score in ranked[: table.width]]
+        table_scores = [
+            context.nonkey_score(table.key, attr) for attr in table.nonkey
+        ]
+        assert sorted(table_scores, reverse=True) == pytest.approx(prefix_scores)
+
+
+class TestPaperExample:
+    """Sec. 4's worked example on the Fig. 1 graph (coverage/coverage)."""
+
+    def test_optimal_concise_k2_n6(self, fig1_context):
+        result = brute_force_discover(fig1_context, SizeConstraint(k=2, n=6))
+        assert result is not None
+        keys = set(result.preview.keys())
+        assert keys == {"FILM", "FILM ACTOR"}
+        film = result.preview.table_for("FILM")
+        names = {attr.name for attr in film.nonkey}
+        # Paper: T1 = FILM with Actor, Genres, Director, (Executive) Producer.
+        assert {"Actor", "Genres", "Director"} <= names
+        actor = result.preview.table_for("FILM ACTOR")
+        assert {attr.name for attr in actor.nonkey} == {"Actor", "Award Winners"}
+
+    def test_dp_matches_brute_force_score(self, fig1_context):
+        size = SizeConstraint(k=2, n=6)
+        bf = brute_force_discover(fig1_context, size)
+        dp = dynamic_programming_discover(fig1_context, size)
+        assert dp.score == pytest.approx(bf.score)
+
+    def test_diverse_preview_prefers_far_keys(self, fig1_context):
+        result = apriori_discover(
+            fig1_context, SizeConstraint(k=2, n=6), DistanceConstraint.diverse(3)
+        )
+        assert result is not None
+        a, b = result.preview.keys()
+        assert fig1_context.schema.distance(a, b) >= 3
+
+    def test_tight_preview_keys_close(self, fig1_context):
+        # Fig. 1's schema is a star around FILM, so no 3 types are
+        # pairwise at distance <= 1; d=2 admits triples through the hub.
+        result = apriori_discover(
+            fig1_context, SizeConstraint(k=3, n=6), DistanceConstraint.tight(2)
+        )
+        assert result is not None
+        keys = result.preview.keys()
+        for i, a in enumerate(keys):
+            for b in keys[i + 1:]:
+                assert fig1_context.schema.distance(a, b) <= 2
+
+    def test_theorem3_holds(self, fig1_context):
+        for k, n in [(1, 3), (2, 6), (3, 7)]:
+            result = brute_force_discover(fig1_context, SizeConstraint(k=k, n=n))
+            assert_theorem3(fig1_context, result.preview)
+
+
+class TestAlgorithmAgreement:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k,n", [(2, 4), (3, 7), (4, 8)])
+    def test_dp_equals_brute_force(self, seed, k, n):
+        schema = random_schema_graph(num_types=9, num_rel_types=14, seed=seed)
+        context = ScoringContext(schema)
+        size = SizeConstraint(k=k, n=n)
+        bf = brute_force_discover(context, size)
+        dp = dynamic_programming_discover(context, size)
+        assert (bf is None) == (dp is None)
+        if bf is not None:
+            assert dp.score == pytest.approx(bf.score)
+            assert SizeConstraint(k=k, n=n).satisfied_by(dp.preview)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("d,mode", [(1, "tight"), (2, "tight"), (2, "diverse"), (3, "diverse")])
+    def test_apriori_equals_brute_force(self, seed, d, mode):
+        schema = random_schema_graph(num_types=9, num_rel_types=14, seed=seed)
+        context = ScoringContext(schema)
+        size = SizeConstraint(k=3, n=6)
+        constraint = (
+            DistanceConstraint.tight(d) if mode == "tight" else DistanceConstraint.diverse(d)
+        )
+        bf = brute_force_discover(context, size, constraint)
+        ap = apriori_discover(context, size, constraint)
+        assert (bf is None) == (ap is None)
+        if bf is not None:
+            assert ap.score == pytest.approx(bf.score)
+
+    @pytest.mark.parametrize("backend", ["apriori", "bron-kerbosch"])
+    def test_clique_backends_equivalent(self, backend):
+        schema = random_schema_graph(num_types=10, num_rel_types=16, seed=7)
+        context = ScoringContext(schema)
+        result = apriori_discover(
+            context,
+            SizeConstraint(k=3, n=6),
+            DistanceConstraint.tight(2),
+            clique_backend=backend,
+        )
+        reference = brute_force_discover(
+            context, SizeConstraint(k=3, n=6), DistanceConstraint.tight(2)
+        )
+        assert result.score == pytest.approx(reference.score)
+
+
+class TestCandidates:
+    def test_eligible_excludes_isolated_types(self):
+        from repro.model import SchemaGraph, RelationshipTypeId
+
+        schema = SchemaGraph()
+        schema.add_entity_type("LONELY", entity_count=10)
+        schema.add_relationship_type(RelationshipTypeId("r", "A", "B"))
+        context = ScoringContext(schema)
+        assert "LONELY" not in eligible_key_types(context)
+        assert {"A", "B"} <= set(eligible_key_types(context))
+
+    def test_best_preview_duplicate_keys_rejected(self, fig1_context):
+        assert (
+            best_preview_for_keys(
+                fig1_context, ["FILM", "FILM"], SizeConstraint(k=2, n=4)
+            )
+            is None
+        )
+
+    def test_best_preview_respects_budget(self, fig1_context):
+        allocation = best_preview_for_keys(
+            fig1_context, ["FILM", "FILM ACTOR"], SizeConstraint(k=2, n=3)
+        )
+        preview, _score = allocation
+        assert preview.attribute_count <= 3
+        assert all(table.width >= 1 for table in preview.tables)
+
+    def test_best_preview_score_matches_context(self, fig1_context):
+        preview, score = best_preview_for_keys(
+            fig1_context, ["FILM", "AWARD"], SizeConstraint(k=2, n=5)
+        )
+        assert score == pytest.approx(fig1_context.preview_score(preview.as_pairs()))
+
+    def test_upper_bound_dominates(self, fig1_context):
+        size = SizeConstraint(k=2, n=5)
+        keys = ["FILM", "FILM ACTOR"]
+        _preview, score = best_preview_for_keys(fig1_context, keys, size)
+        assert upper_bound_for_keys(fig1_context, keys, size) >= score
+
+
+class TestInfeasibility:
+    def test_diverse_infeasible_returns_none(self, fig1_context):
+        result = apriori_discover(
+            fig1_context, SizeConstraint(k=3, n=6), DistanceConstraint.diverse(3)
+        )
+        # Fig. 1's schema is a star around FILM: no 3 types are pairwise
+        # at distance >= 3.
+        assert result is None
+
+    def test_k_exceeds_types_raises(self, fig1_context):
+        from repro.exceptions import InvalidConstraintError
+
+        with pytest.raises(InvalidConstraintError):
+            brute_force_discover(fig1_context, SizeConstraint(k=40, n=80))

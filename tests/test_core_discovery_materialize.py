@@ -1,0 +1,150 @@
+"""Tests for the discovery facade, materialization and rendering."""
+
+import pytest
+
+from repro.core import (
+    discover_preview,
+    make_context,
+    materialize_preview,
+    materialize_table,
+    non_empty_ratio,
+    render_preview,
+)
+from repro.core.render import format_value, render_materialized_table
+from repro.exceptions import (
+    DiscoveryError,
+    InfeasiblePreviewError,
+)
+from repro.model import SchemaGraph
+from repro.scoring import ScoringContext
+
+
+class TestDiscoveryFacade:
+    def test_accepts_entity_graph(self, fig1_graph):
+        result = discover_preview(fig1_graph, k=2, n=6)
+        assert result.preview.table_count == 2
+        assert result.algorithm == "dynamic-programming"
+
+    def test_accepts_schema_graph(self, fig1_schema):
+        result = discover_preview(fig1_schema, k=2, n=6)
+        assert result.preview.table_count == 2
+
+    def test_accepts_context(self, fig1_context):
+        result = discover_preview(fig1_context, k=1, n=2)
+        assert result.preview.table_count == 1
+
+    def test_auto_uses_apriori_for_distance(self, fig1_graph):
+        result = discover_preview(fig1_graph, k=2, n=6, d=1, mode="tight")
+        assert result.algorithm.startswith("apriori")
+
+    def test_brute_force_forced(self, fig1_graph):
+        result = discover_preview(fig1_graph, k=2, n=6, algorithm="brute-force")
+        assert result.algorithm == "brute-force"
+
+    def test_entropy_scorer_via_name(self, fig1_graph):
+        result = discover_preview(
+            fig1_graph, k=2, n=4, key_scorer="random_walk", nonkey_scorer="entropy"
+        )
+        assert result.key_scorer == "random_walk"
+        assert result.nonkey_scorer == "entropy"
+
+    def test_invalid_mode_raises(self, fig1_graph):
+        with pytest.raises(DiscoveryError):
+            discover_preview(fig1_graph, k=2, n=6, d=2, mode="cosy")
+
+    def test_unknown_algorithm_raises(self, fig1_graph):
+        with pytest.raises(DiscoveryError):
+            discover_preview(fig1_graph, k=2, n=6, algorithm="quantum")
+
+    def test_dp_rejects_distance(self, fig1_graph):
+        with pytest.raises(DiscoveryError):
+            discover_preview(
+                fig1_graph, k=2, n=6, d=2, algorithm="dynamic-programming"
+            )
+
+    def test_apriori_requires_distance(self, fig1_graph):
+        with pytest.raises(DiscoveryError):
+            discover_preview(fig1_graph, k=2, n=6, algorithm="apriori")
+
+    def test_infeasible_raises(self, fig1_graph):
+        with pytest.raises(InfeasiblePreviewError):
+            discover_preview(fig1_graph, k=3, n=6, d=3, mode="diverse")
+
+    def test_make_context_rejects_junk(self):
+        with pytest.raises(DiscoveryError):
+            make_context(42)
+
+    def test_result_summary(self, fig1_graph):
+        summary = discover_preview(fig1_graph, k=2, n=6).summary()
+        assert summary["tables"] == 2
+        assert summary["attributes"] <= 6
+
+
+class TestMaterialize:
+    @pytest.fixture
+    def preview(self, fig1_graph):
+        return discover_preview(fig1_graph, k=2, n=6).preview
+
+    def test_all_tuples_without_sampling(self, fig1_graph, preview):
+        film = preview.table_for("FILM")
+        mat = materialize_table(fig1_graph, film, sample_size=None)
+        assert mat.total_tuples == mat.shown == 4
+
+    def test_sampling_bounded_and_deterministic(self, fig1_graph, preview):
+        film = preview.table_for("FILM")
+        mat1 = materialize_table(fig1_graph, film, sample_size=2, seed=5)
+        mat2 = materialize_table(fig1_graph, film, sample_size=2, seed=5)
+        assert mat1.shown == 2
+        assert [r.key_entity for r in mat1.rows] == [r.key_entity for r in mat2.rows]
+
+    def test_negative_sample_rejected(self, fig1_graph, preview):
+        with pytest.raises(DiscoveryError):
+            materialize_table(fig1_graph, preview.tables[0], sample_size=-1)
+
+    def test_values_match_graph(self, fig1_graph, preview):
+        film = preview.table_for("FILM")
+        mat = materialize_table(fig1_graph, film, sample_size=None)
+        for row in mat.rows:
+            for attr, value in zip(film.nonkey, row.values):
+                assert value == fig1_graph.attribute_value(row.key_entity, attr)
+
+    def test_materialize_preview_covers_all_tables(self, fig1_graph, preview):
+        mats = materialize_preview(fig1_graph, preview)
+        assert len(mats) == preview.table_count
+
+    def test_non_empty_ratio(self, fig1_graph, preview):
+        film = preview.table_for("FILM")
+        genres = next(a for a in film.nonkey if a.name == "Genres")
+        # 3 of 4 films have a genre in Fig. 1.
+        assert non_empty_ratio(fig1_graph, film, genres) == pytest.approx(0.75)
+
+    def test_non_empty_ratio_foreign_attr_raises(self, fig1_graph, preview):
+        film = preview.table_for("FILM")
+        actor_table = preview.table_for("FILM ACTOR")
+        with pytest.raises(DiscoveryError):
+            non_empty_ratio(fig1_graph, film, actor_table.nonkey[0])
+
+
+class TestRender:
+    def test_format_value(self):
+        assert format_value(frozenset()) == "-"
+        assert format_value(frozenset({"x"})) == "x"
+        assert format_value(frozenset({"b", "a"})) == "{a, b}"
+
+    def test_render_contains_entities(self, fig1_graph):
+        preview = discover_preview(fig1_graph, k=2, n=6).preview
+        text = render_preview(preview, fig1_graph, sample_size=None)
+        assert "Men in Black" in text
+        assert "FILM ACTOR" in text
+        assert "-" in text  # Hancock has no genre (Fig. 2's t3)
+
+    def test_render_without_entity_graph(self, fig1_graph):
+        preview = discover_preview(fig1_graph, k=2, n=6).preview
+        text = render_preview(preview)
+        assert "[FILM]" in text
+
+    def test_sample_note_shown(self, fig1_graph):
+        preview = discover_preview(fig1_graph, k=1, n=2).preview
+        mat = materialize_preview(fig1_graph, preview, sample_size=2)[0]
+        if mat.total_tuples > 2:
+            assert "tuples shown" in render_materialized_table(mat)

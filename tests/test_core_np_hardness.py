@@ -1,0 +1,82 @@
+"""End-to-end checks of the NP-hardness reductions (Theorems 1 and 2).
+
+The reductions are *executable*: we decide Clique on random graphs both
+directly and through tight/diverse preview discovery on the constructed
+schema graphs, and require exact agreement.
+"""
+
+import random
+
+import pytest
+
+from repro.core.np_hardness import (
+    HUB,
+    brute_force_has_clique,
+    diverse_reduction_schema,
+    has_clique_via_diverse_preview,
+    has_clique_via_tight_preview,
+    tight_reduction_schema,
+)
+
+
+def random_graph(n, p, seed):
+    rng = random.Random(seed)
+    vertices = [f"v{i}" for i in range(n)]
+    edges = [
+        (u, v)
+        for i, u in enumerate(vertices)
+        for v in vertices[i + 1:]
+        if rng.random() < p
+    ]
+    return vertices, edges
+
+
+class TestConstructions:
+    def test_tight_schema_isomorphic(self):
+        vertices, edges = ["a", "b", "c"], [("a", "b"), ("b", "c")]
+        schema = tight_reduction_schema(vertices, edges)
+        assert schema.entity_type_count == 3
+        assert schema.relationship_type_count == 2
+        assert schema.distance("a", "b") == 1
+        assert schema.distance("a", "c") == 2
+
+    def test_diverse_schema_complement_plus_hub(self):
+        vertices, edges = ["a", "b", "c"], [("a", "b")]
+        schema = diverse_reduction_schema(vertices, edges)
+        # Hub connects to everything.
+        assert schema.distance(HUB, "a") == 1
+        # a-b adjacent in G -> NOT adjacent in Gs -> distance exactly 2.
+        assert schema.distance("a", "b") == 2
+        # a-c non-adjacent in G -> adjacent in Gs.
+        assert schema.distance("a", "c") == 1
+
+    def test_hub_name_collision_rejected(self):
+        with pytest.raises(ValueError):
+            diverse_reduction_schema([HUB], [])
+
+
+class TestTriangle:
+    VERTICES = ["a", "b", "c", "d"]
+    EDGES = [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+
+    def test_triangle_found(self):
+        assert has_clique_via_tight_preview(self.VERTICES, self.EDGES, 3)
+        assert has_clique_via_diverse_preview(self.VERTICES, self.EDGES, 3)
+
+    def test_no_4_clique(self):
+        assert not has_clique_via_tight_preview(self.VERTICES, self.EDGES, 4)
+        assert not has_clique_via_diverse_preview(self.VERTICES, self.EDGES, 4)
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("k", [2, 3, 4])
+class TestReductionEquivalence:
+    def test_tight_matches_direct(self, seed, k):
+        vertices, edges = random_graph(7, 0.45, seed)
+        expected = brute_force_has_clique(vertices, edges, k)
+        assert has_clique_via_tight_preview(vertices, edges, k) == expected
+
+    def test_diverse_matches_direct(self, seed, k):
+        vertices, edges = random_graph(7, 0.45, seed)
+        expected = brute_force_has_clique(vertices, edges, k)
+        assert has_clique_via_diverse_preview(vertices, edges, k) == expected

@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.preview and repro.core.constraints."""
+
+import pytest
+
+from repro.core import (
+    DistanceConstraint,
+    DistanceMode,
+    Preview,
+    PreviewTable,
+    SizeConstraint,
+)
+from repro.exceptions import DiscoveryError, InvalidConstraintError
+from repro.model import RelationshipTypeId, incoming, outgoing
+
+ACTOR = RelationshipTypeId("Actor", "FILM ACTOR", "FILM")
+GENRES = RelationshipTypeId("Genres", "FILM", "FILM GENRE")
+
+
+def film_table():
+    return PreviewTable(key="FILM", nonkey=(incoming(ACTOR), outgoing(GENRES)))
+
+
+def actor_table():
+    return PreviewTable(key="FILM ACTOR", nonkey=(outgoing(ACTOR),))
+
+
+class TestPreviewTable:
+    def test_requires_nonkey(self):
+        with pytest.raises(DiscoveryError):
+            PreviewTable(key="FILM", nonkey=())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DiscoveryError):
+            PreviewTable(key="FILM", nonkey=(outgoing(GENRES), outgoing(GENRES)))
+
+    def test_rejects_foreign_attribute(self):
+        with pytest.raises(DiscoveryError):
+            PreviewTable(key="AWARD", nonkey=(outgoing(GENRES),))
+
+    def test_width(self):
+        assert film_table().width == 2
+
+    def test_same_rel_both_directions_allowed(self):
+        loop = RelationshipTypeId("Next", "EP", "EP")
+        table = PreviewTable(key="EP", nonkey=(outgoing(loop), incoming(loop)))
+        assert table.width == 2
+
+
+class TestPreview:
+    def test_distinct_keys_enforced(self):
+        with pytest.raises(DiscoveryError):
+            Preview.of(film_table(), film_table())
+
+    def test_counts(self):
+        preview = Preview.of(film_table(), actor_table())
+        assert preview.table_count == 2
+        assert preview.attribute_count == 3
+        assert preview.keys() == ["FILM", "FILM ACTOR"]
+
+    def test_table_for(self):
+        preview = Preview.of(film_table())
+        assert preview.table_for("FILM") is not None
+        assert preview.table_for("AWARD") is None
+
+    def test_from_pairs(self):
+        preview = Preview.from_pairs([("FILM", [outgoing(GENRES)])])
+        assert preview.table_count == 1
+
+    def test_iteration(self):
+        preview = Preview.of(film_table(), actor_table())
+        assert len(list(preview)) == len(preview) == 2
+
+
+class TestSizeConstraint:
+    def test_valid(self):
+        constraint = SizeConstraint(k=2, n=6)
+        assert constraint.max_attributes_per_table == 5
+
+    def test_k_below_one_rejected(self):
+        with pytest.raises(InvalidConstraintError):
+            SizeConstraint(k=0, n=5)
+
+    def test_n_below_k_rejected(self):
+        with pytest.raises(InvalidConstraintError):
+            SizeConstraint(k=3, n=2)
+
+    def test_satisfied_by(self):
+        preview = Preview.of(film_table(), actor_table())
+        assert SizeConstraint(k=2, n=3).satisfied_by(preview)
+        assert not SizeConstraint(k=2, n=2).satisfied_by(preview)
+        assert not SizeConstraint(k=3, n=9).satisfied_by(preview)
+
+
+class TestDistanceConstraint:
+    def test_negative_d_rejected(self):
+        with pytest.raises(InvalidConstraintError):
+            DistanceConstraint(d=-1)
+
+    def test_tight_and_diverse_semantics(self, fig1_schema):
+        oracle = fig1_schema.distance_oracle()
+        tight = DistanceConstraint.tight(1)
+        diverse = DistanceConstraint.diverse(3)
+        assert tight.pair_ok(oracle, "FILM", "FILM ACTOR")
+        assert not tight.pair_ok(oracle, "FILM GENRE", "AWARD")
+        assert diverse.pair_ok(oracle, "FILM GENRE", "AWARD")
+        assert not diverse.pair_ok(oracle, "FILM", "FILM ACTOR")
+
+    def test_keys_ok_checks_all_pairs(self, fig1_schema):
+        oracle = fig1_schema.distance_oracle()
+        # FILM ACTOR and FILM DIRECTOR are at distance 2 (via FILM), so
+        # the triple fails d=1 even though both are adjacent to FILM.
+        assert not DistanceConstraint.tight(1).keys_ok(
+            oracle, ["FILM", "FILM ACTOR", "FILM DIRECTOR"]
+        )
+        assert DistanceConstraint.tight(2).keys_ok(
+            oracle, ["FILM", "FILM ACTOR", "FILM DIRECTOR"]
+        )
+        assert not DistanceConstraint.tight(2).keys_ok(
+            oracle, ["FILM GENRE", "FILM ACTOR", "AWARD"]
+        )
+
+    def test_modes(self):
+        assert DistanceConstraint.tight(2).mode is DistanceMode.TIGHT
+        assert DistanceConstraint.diverse(2).mode is DistanceMode.DIVERSE

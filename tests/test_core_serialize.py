@@ -1,0 +1,96 @@
+"""Tests for preview/result JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core import discover_preview
+from repro.core.serialize import (
+    FORMAT_VERSION,
+    attribute_from_dict,
+    attribute_to_dict,
+    preview_from_dict,
+    preview_from_json,
+    preview_to_dict,
+    preview_to_json,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.exceptions import DiscoveryError
+from repro.model import Direction, NonKeyAttribute, RelationshipTypeId
+
+GENRES = RelationshipTypeId("Genres", "FILM", "FILM GENRE")
+
+
+class TestAttributeCodec:
+    def test_round_trip_both_directions(self):
+        for direction in (Direction.OUT, Direction.IN):
+            attr = NonKeyAttribute(GENRES, direction)
+            assert attribute_from_dict(attribute_to_dict(attr)) == attr
+
+    def test_malformed_rejected(self):
+        with pytest.raises(DiscoveryError):
+            attribute_from_dict({"name": "x"})
+        with pytest.raises(DiscoveryError):
+            attribute_from_dict(
+                {"name": "x", "source": "A", "target": "B", "direction": "sideways"}
+            )
+
+
+class TestPreviewCodec:
+    @pytest.fixture
+    def preview(self, fig1_graph):
+        return discover_preview(fig1_graph, k=2, n=6).preview
+
+    def test_round_trip(self, preview):
+        clone = preview_from_json(preview_to_json(preview))
+        assert clone == preview
+
+    def test_dict_round_trip(self, preview):
+        assert preview_from_dict(preview_to_dict(preview)) == preview
+
+    def test_version_stamped(self, preview):
+        data = preview_to_dict(preview)
+        assert data["version"] == FORMAT_VERSION
+
+    def test_wrong_version_rejected(self, preview):
+        data = preview_to_dict(preview)
+        data["version"] = 99
+        with pytest.raises(DiscoveryError):
+            preview_from_dict(data)
+
+    def test_missing_tables_rejected(self):
+        with pytest.raises(DiscoveryError):
+            preview_from_dict({"version": FORMAT_VERSION, "tables": [{"nope": 1}]})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(DiscoveryError):
+            preview_from_json("{not json")
+
+    def test_json_is_stable(self, preview):
+        assert preview_to_json(preview) == preview_to_json(preview)
+        json.loads(preview_to_json(preview))  # valid JSON
+
+
+class TestResultCodec:
+    def test_round_trip(self, fig1_graph):
+        result = discover_preview(fig1_graph, k=2, n=6)
+        clone = result_from_dict(result_to_dict(result))
+        assert clone.preview == result.preview
+        assert clone.score == pytest.approx(result.score)
+        assert clone.algorithm == result.algorithm
+        assert clone.key_scorer == result.key_scorer
+
+    def test_missing_metadata_rejected(self, fig1_graph):
+        result = discover_preview(fig1_graph, k=1, n=2)
+        data = result_to_dict(result)
+        del data["discovery"]
+        with pytest.raises(DiscoveryError):
+            result_from_dict(data)
+
+    def test_bad_score_rejected(self, fig1_graph):
+        result = discover_preview(fig1_graph, k=1, n=2)
+        data = result_to_dict(result)
+        data["discovery"]["score"] = "many"
+        with pytest.raises(DiscoveryError):
+            result_from_dict(data)

@@ -1,0 +1,139 @@
+"""Tests for all-optimal enumeration (ties) and branch-and-bound discovery."""
+
+import pytest
+
+from repro.core import (
+    DistanceConstraint,
+    SizeConstraint,
+    brute_force_discover,
+    discover_preview,
+    dynamic_programming_discover,
+)
+from repro.core.branch_bound import branch_and_bound_discover
+from repro.core.ties import all_optimal_previews
+from repro.datasets import random_schema_graph
+from repro.model import RelationshipTypeId, SchemaGraph
+from repro.scoring import ScoringContext
+
+
+def symmetric_schema():
+    """Two interchangeable wings around a hub: guaranteed score ties."""
+    schema = SchemaGraph()
+    schema.add_entity_type("HUB", entity_count=10)
+    for wing in ("LEFT", "RIGHT"):
+        schema.add_entity_type(wing, entity_count=5)
+        schema.add_relationship_type(
+            RelationshipTypeId(f"{wing.lower()}-link", "HUB", wing), edge_count=7
+        )
+    return schema
+
+
+class TestAllOptimalPreviews:
+    def test_symmetric_wings_tie(self):
+        context = ScoringContext(symmetric_schema())
+        # k=1 over LEFT or RIGHT (each scores 5*7); HUB scores 10*14.
+        optima = all_optimal_previews(context, SizeConstraint(k=1, n=1))
+        # HUB with one of two equally scored attributes -> 2 optima.
+        assert len(optima) == 2
+        assert all(p.keys() == ["HUB"] for p in optima)
+        names = {p.tables[0].nonkey[0].name for p in optima}
+        assert names == {"left-link", "right-link"}
+
+    def test_key_subset_ties(self):
+        context = ScoringContext(symmetric_schema())
+        # k=2, n=2: {HUB, LEFT} and {HUB, RIGHT} tie.
+        optima = all_optimal_previews(context, SizeConstraint(k=2, n=2))
+        key_sets = {frozenset(p.keys()) for p in optima}
+        assert frozenset({"HUB", "LEFT"}) in key_sets
+        assert frozenset({"HUB", "RIGHT"}) in key_sets
+
+    def test_all_have_best_score(self):
+        context = ScoringContext(symmetric_schema())
+        size = SizeConstraint(k=2, n=3)
+        reference = brute_force_discover(context, size)
+        for preview in all_optimal_previews(context, size):
+            assert context.preview_score(preview.as_pairs()) == pytest.approx(
+                reference.score
+            )
+
+    def test_unique_optimum_single_result(self):
+        schema = random_schema_graph(num_types=6, num_rel_types=10, seed=42)
+        context = ScoringContext(schema)
+        optima = all_optimal_previews(context, SizeConstraint(k=2, n=4))
+        assert len(optima) >= 1
+        scores = {
+            round(context.preview_score(p.as_pairs()), 6) for p in optima
+        }
+        assert len(scores) == 1
+
+    def test_limit_respected(self):
+        # The NP-hardness style all-zero-score setting explodes; limit caps it.
+        schema = SchemaGraph()
+        for i in range(6):
+            schema.add_entity_type(f"T{i}", entity_count=0)
+        for i in range(6):
+            for j in range(i + 1, 6):
+                schema.add_relationship_type(
+                    RelationshipTypeId("e", f"T{i}", f"T{j}"), edge_count=1
+                )
+        context = ScoringContext(schema)
+        optima = all_optimal_previews(
+            context, SizeConstraint(k=2, n=2), limit=5
+        )
+        assert len(optima) == 5
+
+    def test_distance_constrained(self, fig1_context):
+        optima = all_optimal_previews(
+            fig1_context,
+            SizeConstraint(k=2, n=4),
+            distance=DistanceConstraint.diverse(3),
+        )
+        for preview in optima:
+            a, b = preview.keys()
+            assert fig1_context.schema.distance(a, b) >= 3
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k,n", [(2, 4), (3, 6)])
+    def test_matches_dp_on_concise(self, seed, k, n):
+        schema = random_schema_graph(num_types=10, num_rel_types=16, seed=seed)
+        context = ScoringContext(schema)
+        size = SizeConstraint(k=k, n=n)
+        bb = branch_and_bound_discover(context, size)
+        dp = dynamic_programming_discover(context, size)
+        assert (bb is None) == (dp is None)
+        if bb is not None:
+            assert bb.score == pytest.approx(dp.score)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force_with_distance(self, seed):
+        schema = random_schema_graph(num_types=9, num_rel_types=14, seed=seed)
+        context = ScoringContext(schema)
+        size = SizeConstraint(k=3, n=6)
+        constraint = DistanceConstraint.tight(2)
+        bb = branch_and_bound_discover(context, size, constraint)
+        bf = brute_force_discover(context, size, constraint)
+        assert (bb is None) == (bf is None)
+        if bb is not None:
+            assert bb.score == pytest.approx(bf.score)
+
+    def test_prunes_subsets(self, fig1_context):
+        size = SizeConstraint(k=2, n=6)
+        bb = branch_and_bound_discover(fig1_context, size)
+        bf = brute_force_discover(fig1_context, size)
+        assert bb.score == pytest.approx(bf.score)
+        # The bound should avoid evaluating every complete subset.
+        assert bb.candidates_examined <= bf.candidates_examined
+
+    def test_exposed_through_facade(self, fig1_graph):
+        result = discover_preview(fig1_graph, k=2, n=6, algorithm="branch-and-bound")
+        assert result.algorithm == "branch-and-bound"
+        reference = discover_preview(fig1_graph, k=2, n=6)
+        assert result.score == pytest.approx(reference.score)
+
+    def test_infeasible_returns_none(self, fig1_context):
+        result = branch_and_bound_discover(
+            fig1_context, SizeConstraint(k=3, n=6), DistanceConstraint.diverse(3)
+        )
+        assert result is None

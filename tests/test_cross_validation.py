@@ -1,0 +1,150 @@
+"""Cross-validation of the hand-rolled substrates against networkx/numpy.
+
+The graph substrate is dependency-free by design, but the test
+environment ships networkx and numpy — so we use them as independent
+oracles: BFS distances, connected components, cliques and stationary
+distributions must agree with the reference implementations on random
+inputs.
+"""
+
+import random
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    DistanceOracle,
+    UndirectedGraph,
+    apriori_k_cliques,
+    connected_components,
+    diameter,
+    shortest_path_lengths,
+    stationary_distribution,
+    transition_matrix,
+)
+from repro.model import Triple
+from repro.store import TripleStore
+
+
+def random_undirected(n, p, seed, weighted=False):
+    rng = random.Random(seed)
+    ours = UndirectedGraph()
+    theirs = nx.Graph()
+    for i in range(n):
+        ours.add_node(i)
+        theirs.add_node(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                weight = rng.randint(1, 9) if weighted else 1.0
+                ours.add_edge(i, j, float(weight))
+                theirs.add_edge(i, j, weight=float(weight))
+    return ours, theirs
+
+
+@pytest.mark.parametrize("seed", range(6))
+class TestDistancesAgainstNetworkx:
+    def test_single_source_lengths(self, seed):
+        ours, theirs = random_undirected(12, 0.25, seed)
+        expected = dict(nx.single_source_shortest_path_length(theirs, 0))
+        assert shortest_path_lengths(ours, 0) == expected
+
+    def test_all_pairs_oracle(self, seed):
+        ours, theirs = random_undirected(10, 0.3, seed)
+        oracle = DistanceOracle(ours)
+        expected = dict(nx.all_pairs_shortest_path_length(theirs))
+        for u in range(10):
+            for v in range(10):
+                if v in expected[u]:
+                    assert oracle.distance(u, v) == expected[u][v]
+                else:
+                    assert oracle.distance(u, v) == float("inf")
+
+    def test_components(self, seed):
+        ours, theirs = random_undirected(14, 0.12, seed)
+        mine = sorted(sorted(c) for c in connected_components(ours))
+        reference = sorted(sorted(c) for c in nx.connected_components(theirs))
+        assert sorted(map(tuple, mine)) == sorted(map(tuple, reference))
+
+    def test_diameter_on_connected(self, seed):
+        ours, theirs = random_undirected(9, 0.5, seed)
+        if not nx.is_connected(theirs):
+            pytest.skip("disconnected sample")
+        assert diameter(ours) == nx.diameter(theirs)
+
+    def test_cliques(self, seed):
+        ours, theirs = random_undirected(10, 0.4, seed)
+
+        def adjacent(u, v):
+            return theirs.has_edge(u, v)
+
+        for k in (3, 4):
+            mine = set(apriori_k_cliques(list(range(10)), adjacent, k))
+            from itertools import combinations
+
+            reference = set()
+            for clique in nx.find_cliques(theirs):
+                for combo in combinations(sorted(clique), k):
+                    reference.add(combo)
+            assert mine == reference
+
+
+@pytest.mark.parametrize("seed", range(4))
+class TestStationaryAgainstNumpy:
+    def test_matches_eigenvector(self, seed):
+        ours, _theirs = random_undirected(8, 0.5, seed, weighted=True)
+        nodes = list(ours.nodes())
+        matrix = np.array(transition_matrix(ours, nodes, jump_probability=1e-5))
+        pi = stationary_distribution(ours, jump_probability=1e-5)
+        vec = np.array([pi[node] for node in nodes])
+        # pi M = pi within solver tolerance.
+        assert np.allclose(vec @ matrix, vec, atol=1e-8)
+        # And it matches the dominant left eigenvector from numpy.
+        values, vectors = np.linalg.eig(matrix.T)
+        dominant = np.argmin(np.abs(values - 1.0))
+        reference = np.real(vectors[:, dominant])
+        reference = reference / reference.sum()
+        assert np.allclose(vec, reference, atol=1e-6)
+
+    def test_unweighted_walk_proportional_to_degree(self, seed):
+        """On a connected unweighted graph, pi_i ∝ degree(i) exactly."""
+        ours, theirs = random_undirected(8, 0.6, seed)
+        if not nx.is_connected(theirs):
+            pytest.skip("disconnected sample")
+        pi = stationary_distribution(ours, jump_probability=0.0)
+        total_degree = sum(dict(theirs.degree()).values())
+        for node in theirs.nodes():
+            assert pi[node] == pytest.approx(
+                theirs.degree(node) / total_degree, abs=1e-9
+            )
+
+
+class TestStoreScanOracle:
+    """Index-backed scans must equal brute-force filtering."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_patterns(self, seed):
+        rng = random.Random(seed)
+        terms = [f"t{i}" for i in range(6)]
+        store = TripleStore()
+        universe = []
+        for _ in range(60):
+            triple = Triple(
+                rng.choice(terms), rng.choice(terms), rng.choice(terms)
+            )
+            store.add(triple)
+            universe.append(triple)
+        distinct = set(universe)
+        for _ in range(30):
+            pattern = [
+                None if rng.random() < 0.5 else rng.choice(terms)
+                for _ in range(3)
+            ]
+            scanned = set(store.scan(*pattern))
+            expected = {
+                t
+                for t in distinct
+                if all(p is None or field == p for field, p in zip(t, pattern))
+            }
+            assert scanned == expected

@@ -1,0 +1,178 @@
+"""Tests for the crowd simulation and the user-study simulation."""
+
+import pytest
+
+from repro.eval import (
+    APPROACHES,
+    PARTICIPANTS,
+    attr_fact,
+    cross_domain_likert_ranking,
+    generate_questions,
+    measure_crowd_correlation,
+    presentation_from_preview,
+    run_crowd_study,
+    run_user_study,
+    simulate_response,
+    type_fact,
+)
+from repro.eval.likert import QUESTION_KEYS, mean_scores, rank_approaches
+from repro.exceptions import EvaluationError
+
+
+class TestCrowdStudy:
+    POPULATIONS = {f"T{i}": 1000 // (i + 1) for i in range(20)}
+
+    def test_shape(self):
+        study = run_crowd_study(self.POPULATIONS, seed=0, pairs=50)
+        assert len(study.pairs) == 50
+        assert study.total_opinions == 50 * 20
+
+    def test_deterministic(self):
+        a = run_crowd_study(self.POPULATIONS, seed=3)
+        b = run_crowd_study(self.POPULATIONS, seed=3)
+        assert a.pairs == b.pairs
+        assert a.votes == b.votes
+
+    def test_needs_two_types(self):
+        with pytest.raises(EvaluationError):
+            run_crowd_study({"ONLY": 5})
+
+    def test_good_ranking_correlates_positively(self):
+        study = run_crowd_study(self.POPULATIONS, seed=1)
+        ranking = sorted(
+            self.POPULATIONS, key=self.POPULATIONS.get, reverse=True
+        )
+        assert measure_crowd_correlation(study, ranking) > 0.5
+
+    def test_reversed_ranking_correlates_negatively(self):
+        study = run_crowd_study(self.POPULATIONS, seed=1)
+        ranking = sorted(self.POPULATIONS, key=self.POPULATIONS.get)
+        assert measure_crowd_correlation(study, ranking) < -0.5
+
+    def test_pair_cap_on_small_domains(self):
+        study = run_crowd_study({"A": 5, "B": 3, "C": 1}, seed=0, pairs=50)
+        assert len(study.pairs) == 3  # C(3, 2)
+
+
+class TestExistenceQuestions:
+    def test_mix_of_positive_negative(self, fig1_schema):
+        questions = generate_questions(fig1_schema, 20, seed=0)
+        answers = [q.answer for q in questions]
+        assert any(answers) and not all(answers)
+        assert len(questions) == 20
+
+    def test_positive_facts_are_true(self, fig1_schema):
+        from repro.eval.existence import all_attribute_facts
+
+        truth = {fact for fact, _ in all_attribute_facts(fig1_schema)}
+        for q in generate_questions(fig1_schema, 30, seed=1):
+            assert (q.fact in truth) == q.answer
+
+    def test_deterministic(self, fig1_schema):
+        a = generate_questions(fig1_schema, 12, seed=7)
+        b = generate_questions(fig1_schema, 12, seed=7)
+        assert a == b
+
+    def test_count_validation(self, fig1_schema):
+        with pytest.raises(EvaluationError):
+            generate_questions(fig1_schema, 0)
+
+
+class TestPresentations:
+    def test_preview_presentation_facts(self, fig1_graph):
+        from repro.core import discover_preview
+
+        preview = discover_preview(fig1_graph, k=2, n=6).preview
+        p = presentation_from_preview("Concise", preview)
+        assert p.shows(type_fact("FILM"))
+        assert p.shows(attr_fact("FILM", "Genres"))
+        assert not p.full_coverage
+        assert p.display_items == 2 + preview.attribute_count
+
+    def test_schema_presentation_full(self, fig1_schema):
+        from repro.eval import presentation_from_schema_graph
+
+        p = presentation_from_schema_graph("Graph", fig1_schema)
+        assert p.full_coverage
+        for type_name in fig1_schema.entity_types():
+            assert p.shows(type_fact(type_name))
+
+
+class TestLikert:
+    def test_scores_in_range(self):
+        import random
+
+        rng = random.Random(0)
+        for approach in APPROACHES:
+            response = simulate_response(approach, rng)
+            assert all(1 <= s <= 5 for s in response.scores)
+
+    def test_unknown_approach(self):
+        import random
+
+        with pytest.raises(EvaluationError):
+            simulate_response("Votes", random.Random(0))
+
+    def test_mean_scores(self):
+        import random
+
+        rng = random.Random(1)
+        responses = [simulate_response("Graph", rng) for _ in range(40)]
+        means = mean_scores(responses)
+        assert set(means) == set(QUESTION_KEYS)
+        # Graph has the highest Q2 prior (4.45).
+        assert means["Q2"] > 3.8
+
+    def test_mean_scores_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            mean_scores([])
+
+    def test_rank_unknown_question(self):
+        with pytest.raises(EvaluationError):
+            rank_approaches({}, "Q9")
+
+
+class TestUserStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_user_study("people", seed=7)
+
+    def test_sample_sizes_match_table5(self, result):
+        rates = result.conversion_rates()
+        for approach in APPROACHES:
+            n, _rate = rates[approach]
+            assert n == PARTICIPANTS[approach] * 4
+
+    def test_conversion_rates_plausible(self, result):
+        for approach, (_n, rate) in result.conversion_rates().items():
+            assert 0.4 <= rate <= 1.0, approach
+
+    def test_time_ranking_contains_all(self, result):
+        ranking = result.time_ranking()
+        assert sorted(ranking) == sorted(APPROACHES)
+
+    def test_tight_among_fastest(self, result):
+        # Table 6: Tight is first or second in 4 of 5 domains.
+        assert result.time_ranking().index("Tight") <= 2
+
+    def test_graph_among_slowest(self, result):
+        assert result.time_ranking().index("Graph") >= 4
+
+    def test_pairwise_tests_cover_all_pairs(self, result):
+        tests = result.pairwise_z_tests()
+        assert len(tests) == 21  # C(7, 2)
+
+    def test_deterministic(self):
+        a = run_user_study("people", seed=3)
+        b = run_user_study("people", seed=3)
+        assert a.conversion_rates() == b.conversion_rates()
+
+    def test_likert_means_shape(self, result):
+        means = result.likert_means()
+        assert set(means) == set(APPROACHES)
+
+    def test_cross_domain_ranking(self, result):
+        rankings = cross_domain_likert_ranking([result])
+        assert set(rankings) == set(QUESTION_KEYS)
+        for ranking in rankings.values():
+            assert sorted(ranking) == sorted(APPROACHES)

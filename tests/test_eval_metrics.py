@@ -1,0 +1,159 @@
+"""Tests for ranking metrics, correlation and hypothesis tests."""
+
+import math
+
+import pytest
+
+from repro.eval import (
+    average_precision,
+    correlation_strength,
+    dcg_at_k,
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    normal_cdf,
+    optimal_average_precision,
+    optimal_precision_at_k,
+    pearson_correlation,
+    precision_at_k,
+    precision_curve,
+    reciprocal_rank,
+    two_proportion_z_test,
+)
+from repro.exceptions import EvaluationError
+
+RANKING = ["a", "b", "c", "d", "e", "f"]
+GOLD = {"a", "c", "f"}
+
+
+class TestPrecision:
+    def test_values(self):
+        assert precision_at_k(RANKING, GOLD, 1) == 1.0
+        assert precision_at_k(RANKING, GOLD, 2) == 0.5
+        assert precision_at_k(RANKING, GOLD, 3) == pytest.approx(2 / 3)
+        assert precision_at_k(RANKING, GOLD, 6) == 0.5
+
+    def test_short_ranking(self):
+        assert precision_at_k(["a"], GOLD, 5) == pytest.approx(1 / 5)
+
+    def test_optimal_caps_at_gold_size(self):
+        # Paper: "P@10 can be at most 0.6, since there are only 6 gold".
+        assert optimal_precision_at_k(6, 10) == 0.6
+        assert optimal_precision_at_k(6, 3) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k(RANKING, GOLD, 0)
+
+    def test_curve_length(self):
+        assert len(precision_curve(RANKING, GOLD, 10)) == 10
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "c", "f", "b"], GOLD, 4) == pytest.approx(1.0)
+
+    def test_paper_formula(self):
+        # AvgP@3 = (P@1*1 + P@3*1) / 3 = (1 + 2/3) / 3
+        assert average_precision(RANKING, GOLD, 3) == pytest.approx((1 + 2 / 3) / 3)
+
+    def test_empty_gold(self):
+        assert average_precision(RANKING, set(), 3) == 0.0
+
+    def test_optimal(self):
+        assert optimal_average_precision(6, 3) == pytest.approx(0.5)
+        assert optimal_average_precision(6, 10) == 1.0
+
+
+class TestNdcg:
+    def test_paper_dcg_formula(self):
+        # DCG uses rel_1 + rel_i / log2(i) from i = 2.
+        assert dcg_at_k([1, 1, 1], 3) == pytest.approx(1 + 1 / math.log2(2) + 1 / math.log2(3))
+
+    def test_perfect_is_one(self):
+        assert ndcg_at_k(["a", "c", "f"], GOLD, 3) == pytest.approx(1.0)
+
+    def test_worse_ranking_lower(self):
+        good = ndcg_at_k(["a", "c", "b", "f"], GOLD, 4)
+        bad = ndcg_at_k(["b", "d", "a", "c"], GOLD, 4)
+        assert good > bad
+
+    def test_no_gold_zero(self):
+        assert ndcg_at_k(RANKING, set(), 4) == 0.0
+
+
+class TestMrr:
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(["x", "a"], GOLD) == 0.5
+        assert reciprocal_rank(["x", "y"], GOLD) == 0.0
+
+    def test_mean(self):
+        value = mean_reciprocal_rank([["a"], ["x", "c"]], [GOLD, GOLD])
+        assert value == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_empty(self):
+        assert mean_reciprocal_rank([], []) == 0.0
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_zero_variance(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            pearson_correlation([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(EvaluationError):
+            pearson_correlation([], [])
+
+    def test_strength_bands(self):
+        assert correlation_strength(0.7) == "strong"
+        assert correlation_strength(0.4) == "medium"
+        assert correlation_strength(0.2) == "small"
+        assert correlation_strength(0.05) == "negligible"
+        assert correlation_strength(-0.6) == "strong negative"
+
+
+class TestZTest:
+    def test_normal_cdf(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+        assert normal_cdf(1.6449) == pytest.approx(0.95, abs=1e-3)
+
+    def test_clear_difference_significant(self):
+        result = two_proportion_z_test(45, 50, 25, 50)
+        assert result.z > 0
+        assert result.significant
+        assert result.winner == "A"
+
+    def test_no_difference(self):
+        result = two_proportion_z_test(30, 50, 30, 50)
+        assert result.z == pytest.approx(0.0)
+        assert not result.significant
+        assert result.winner == "-"
+
+    def test_direction(self):
+        result = two_proportion_z_test(25, 50, 45, 50)
+        assert result.z < 0
+        assert result.winner == "B"
+
+    def test_paper_magnitude(self):
+        # Table 7 Tight vs Diverse: c=0.979 (n=48) vs 0.730 (n=52) -> z~3.5.
+        result = two_proportion_z_test(47, 48, 38, 52)
+        assert result.z == pytest.approx(3.48, abs=0.15)
+        assert result.p_value < 0.001
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EvaluationError):
+            two_proportion_z_test(5, 0, 1, 10)
+        with pytest.raises(EvaluationError):
+            two_proportion_z_test(11, 10, 1, 10)
+
+    def test_degenerate_all_success(self):
+        result = two_proportion_z_test(10, 10, 10, 10)
+        assert not result.significant

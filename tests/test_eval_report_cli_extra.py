@@ -1,0 +1,74 @@
+"""Additional coverage: report internals, CLI parser, bench result files."""
+
+import pytest
+
+from repro.cli import build_parser
+from repro.eval.report import domain_report, full_report
+
+
+class TestCliParser:
+    def test_domain_and_file_mutually_exclusive(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--domain", "film", "--file", "x.tsv"])
+
+    def test_tight_and_diverse_mutually_exclusive(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(
+                ["--domain", "film", "--tight", "2", "--diverse", "4"]
+            )
+
+    def test_requires_a_source(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["-k", "3"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["--domain", "film"])
+        assert args.tables == 3
+        assert args.attrs == 9
+        assert args.key_scorer == "coverage"
+        assert args.tight is None and args.diverse is None
+
+    def test_rejects_unknown_domain(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--domain", "cooking"])
+
+    def test_rejects_unknown_scorer(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--domain", "film", "--key-scorer", "vibes"])
+
+
+class TestReportContent:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return domain_report("tv")
+
+    def test_all_measures_present(self, report):
+        for label in ("coverage", "random walk", "YPS09"):
+            assert label in report
+
+    def test_all_approaches_present(self, report):
+        for approach in (
+            "Concise",
+            "Tight",
+            "Diverse",
+            "Freebase",
+            "Experts",
+            "YPS09",
+            "Graph",
+        ):
+            assert f"| {approach} |" in report
+
+    def test_markdown_tables_well_formed(self, report):
+        for line in report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_full_report_defaults_to_all_gold_domains(self):
+        text = full_report()
+        for domain in ("books", "film", "music", "tv", "people"):
+            assert f"## Domain: {domain}" in text

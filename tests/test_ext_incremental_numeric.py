@@ -1,0 +1,171 @@
+"""Tests for incremental maintenance and numeric-attribute extensions."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError, UnknownEntityError
+from repro.ext import (
+    IncrementalEntityGraph,
+    NumericAttributeStore,
+    augment_preview,
+    preview_to_dot,
+    render_numeric_summary,
+    schema_graph_to_dot,
+)
+from repro.model import RelationshipTypeId
+
+ACTED = RelationshipTypeId("Acted In", "ACTOR", "FILM")
+
+
+@pytest.fixture
+def incremental():
+    inc = IncrementalEntityGraph(name="inc")
+    inc.add_entity("film1", ["FILM"])
+    inc.add_entity("actor1", ["ACTOR"])
+    inc.add_relationship("actor1", "film1", ACTED)
+    return inc
+
+
+class TestIncremental:
+    def test_coverage_maintained(self, incremental):
+        assert incremental.key_coverage("FILM") == 1
+        assert incremental.nonkey_coverage(ACTED) == 1
+        incremental.add_entity("film2", ["FILM"])
+        incremental.add_relationship("actor1", "film2", ACTED)
+        assert incremental.key_coverage("FILM") == 2
+        assert incremental.nonkey_coverage(ACTED) == 2
+
+    def test_generation_bumps(self, incremental):
+        before = incremental.generation
+        incremental.add_entity("film2", ["FILM"])
+        assert incremental.generation == before + 1
+
+    def test_matches_full_rescan(self, incremental):
+        for i in range(20):
+            incremental.add_entity(f"film{i+10}", ["FILM"])
+            incremental.add_relationship("actor1", f"film{i+10}", ACTED)
+        assert incremental.verify_against_rescan()
+
+    def test_multi_type_entity_counted_once_per_type(self, incremental):
+        incremental.add_entity("dual", ["FILM", "ACTOR"])
+        incremental.add_entity("dual", ["FILM"])  # re-add: no double count
+        assert incremental.key_coverage("FILM") == 2
+        assert incremental.key_coverage("ACTOR") == 2
+
+    def test_context_cache_invalidation(self, incremental):
+        ctx1 = incremental.context()
+        ctx2 = incremental.context()
+        assert ctx1 is ctx2  # same generation -> cached
+        incremental.add_entity("film2", ["FILM"])
+        ctx3 = incremental.context()
+        assert ctx3 is not ctx1
+        assert ctx3.key_score("FILM") == 2.0
+
+    def test_discovery_sees_updates(self, incremental):
+        first = incremental.discover(k=1, n=1)
+        assert first.preview.keys() == ["FILM"] or first.preview.keys() == ["ACTOR"]
+        # Flood a new type with entities and edges so it dominates.
+        incremental.add_entity("genreX", ["GENRE"])
+        has = RelationshipTypeId("Has Genre", "FILM", "GENRE")
+        for i in range(50):
+            incremental.add_entity(f"g{i}", ["GENRE"])
+            incremental.add_relationship("film1", f"g{i}", has)
+        second = incremental.discover(k=1, n=1)
+        assert "GENRE" in (second.preview.keys() + ["GENRE"])  # feasible
+        assert incremental.verify_against_rescan()
+
+    def test_wraps_existing_graph(self, fig1_graph):
+        inc = IncrementalEntityGraph(base=fig1_graph)
+        assert inc.key_coverage("FILM") == 4
+        assert inc.verify_against_rescan()
+
+
+class TestNumericStore:
+    @pytest.fixture
+    def store(self, fig1_graph):
+        store = NumericAttributeStore(fig1_graph)
+        store.add("Men in Black", "runtime", 98)
+        store.add("Men in Black II", "runtime", 88)
+        store.add("I, Robot", "runtime", 115)
+        store.add("Men in Black", "gross", 589.4)
+        return store
+
+    def test_summary_statistics(self, store):
+        summary = store.summary("FILM", "runtime")
+        assert summary.count == 3
+        assert summary.minimum == 88
+        assert summary.maximum == 115
+        assert summary.mean == pytest.approx((98 + 88 + 115) / 3)
+        assert summary.stddev == pytest.approx(
+            math.sqrt(sum((v - summary.mean) ** 2 for v in (98, 88, 115)) / 3)
+        )
+
+    def test_candidates_by_coverage(self, store):
+        candidates = store.candidates("FILM")
+        assert [name for name, _ in candidates] == ["runtime", "gross"]
+
+    def test_coverage(self, store):
+        assert store.coverage("FILM", "runtime") == 3
+        assert store.coverage("FILM", "nonexistent") == 0
+
+    def test_per_entity_values(self, store):
+        assert store.values("Men in Black", "runtime") == [98]
+        assert store.values("Hancock", "runtime") == []
+
+    def test_unknown_entity_rejected(self, store):
+        with pytest.raises(UnknownEntityError):
+            store.add("ghost", "runtime", 1)
+
+    def test_non_numeric_rejected(self, store):
+        with pytest.raises(ModelError):
+            store.add("Men in Black", "runtime", "long")
+        with pytest.raises(ModelError):
+            store.add("Men in Black", "runtime", float("nan"))
+
+    def test_augment_preview(self, fig1_graph, store):
+        from repro.core import discover_preview
+
+        preview = discover_preview(fig1_graph, k=2, n=6).preview
+        augmented = augment_preview(preview, store, per_table_budget=1)
+        film = next(a for a in augmented if a.table.key == "FILM")
+        assert [name for name, _ in film.numeric] == ["runtime"]
+        text = render_numeric_summary(film)
+        assert "runtime" in text and "n=3" in text
+
+    def test_augment_budget_zero(self, fig1_graph, store):
+        from repro.core import discover_preview
+
+        preview = discover_preview(fig1_graph, k=1, n=2).preview
+        augmented = augment_preview(preview, store, per_table_budget=0)
+        assert all(not a.numeric for a in augmented)
+        assert "(none)" in render_numeric_summary(augmented[0])
+
+    def test_negative_budget_rejected(self, fig1_graph, store):
+        from repro.core import discover_preview
+
+        preview = discover_preview(fig1_graph, k=1, n=2).preview
+        with pytest.raises(ModelError):
+            augment_preview(preview, store, per_table_budget=-1)
+
+
+class TestDotExport:
+    def test_schema_dot_well_formed(self, fig1_schema):
+        dot = schema_graph_to_dot(fig1_schema, highlight=["FILM"])
+        assert dot.startswith('digraph "schema" {')
+        assert dot.rstrip().endswith("}")
+        assert '"FILM"' in dot
+        assert "lightblue" in dot  # highlight applied
+        assert "Genres [5]" in dot  # weight label
+
+    def test_preview_dot_marks_keys(self, fig1_graph):
+        from repro.core import discover_preview
+
+        preview = discover_preview(fig1_graph, k=2, n=6).preview
+        dot = preview_to_dot(preview)
+        assert dot.count("penwidth=2") == 2  # two key attributes
+        assert "cluster_0" in dot and "cluster_1" in dot
+
+    def test_quoting(self, fig1_schema):
+        dot = schema_graph_to_dot(fig1_schema, name='we"ird')
+        assert 'digraph "we\\"ird"' in dot

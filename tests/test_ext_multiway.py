@@ -1,0 +1,136 @@
+"""Tests for multi-way (mediator/CVT) relationship support."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ext.multiway import (
+    detect_mediator_types,
+    format_multiway_cell,
+    mediator_summary,
+    multiway_attribute_values,
+)
+from repro.model import (
+    EntityGraphBuilder,
+    NonKeyAttribute,
+    Direction,
+    RelationshipTypeId,
+    SchemaGraph,
+)
+
+
+def build_performance_graph():
+    """FILM/ACTOR/CHARACTER joined through PERFORMANCE mediator nodes."""
+    b = EntityGraphBuilder("performances")
+    b.entity("Men in Black", "FILM").entity("Hancock", "FILM")
+    b.entity("Will Smith", "ACTOR").entity("Tommy Lee Jones", "ACTOR")
+    b.entity("Agent J", "CHARACTER").entity("Agent K", "CHARACTER")
+    b.entity("Hancock (char)", "CHARACTER")
+    performances = [
+        ("perf1", "Men in Black", "Will Smith", "Agent J"),
+        ("perf2", "Men in Black", "Tommy Lee Jones", "Agent K"),
+        ("perf3", "Hancock", "Will Smith", "Hancock (char)"),
+    ]
+    for node, film, actor, character in performances:
+        b.entity(node, "PERFORMANCE")
+        b.relate(film, "Performances", node)
+        b.relate(node, "Performance Actor", actor)
+        b.relate(node, "Performance Character", character)
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_performance_graph()
+
+
+@pytest.fixture(scope="module")
+def schema(graph):
+    return SchemaGraph.from_entity_graph(graph)
+
+
+class TestDetection:
+    def test_performance_detected(self, graph, schema):
+        profiles = detect_mediator_types(graph, schema)
+        mediators = {p.mediator for p in profiles}
+        assert "PERFORMANCE" in mediators
+
+    def test_roles_enumerated(self, graph, schema):
+        profile = next(
+            p for p in detect_mediator_types(graph, schema)
+            if p.mediator == "PERFORMANCE"
+        )
+        assert profile.arity == 3
+        assert profile.roles["Performance Actor"] == "ACTOR"
+        assert profile.roles["Performance Character"] == "CHARACTER"
+        assert profile.roles["Performances"] == "FILM"
+
+    def test_plain_types_not_mediators(self, graph, schema):
+        mediators = {p.mediator for p in detect_mediator_types(graph, schema)}
+        assert "FILM" not in mediators
+        assert "ACTOR" not in mediators
+
+    def test_fig1_has_no_mediators(self, fig1_graph, fig1_schema):
+        # Fig. 1 is a plain binary graph; hub types have multi-valued
+        # attributes, which disqualifies them.
+        assert detect_mediator_types(fig1_graph, fig1_schema) == []
+
+    def test_summary(self, graph, schema):
+        summary = mediator_summary(graph, schema)
+        assert summary.get("PERFORMANCE") == 3
+
+
+class TestJoinThrough:
+    @pytest.fixture(scope="class")
+    def profile(self, graph, schema):
+        return next(
+            p for p in detect_mediator_types(graph, schema)
+            if p.mediator == "PERFORMANCE"
+        )
+
+    @pytest.fixture(scope="class")
+    def into_mediator(self):
+        rel = RelationshipTypeId("Performances", "FILM", "PERFORMANCE")
+        return NonKeyAttribute(rel, Direction.OUT)
+
+    def test_values_for_film(self, graph, schema, profile, into_mediator):
+        values = multiway_attribute_values(
+            graph, schema, "Men in Black", into_mediator, profile
+        )
+        assert len(values) == 2
+        flattened = {tuple(filler for _r, filler in v) for v in values}
+        assert ("Will Smith", "Agent J") in flattened
+        assert ("Tommy Lee Jones", "Agent K") in flattened
+
+    def test_values_exclude_anchor_role(self, graph, schema, profile, into_mediator):
+        values = multiway_attribute_values(
+            graph, schema, "Hancock", into_mediator, profile
+        )
+        roles = {role for value in values for role, _f in value}
+        assert "Performances" not in roles
+
+    def test_empty_for_unrelated(self, graph, schema, profile, into_mediator):
+        b_values = multiway_attribute_values(
+            graph, schema, "Agent J", into_mediator, profile
+        ) if graph.has_entity("Agent J") else []
+        assert b_values == []
+
+    def test_wrong_attribute_rejected(self, graph, schema, profile):
+        wrong = NonKeyAttribute(
+            RelationshipTypeId("Performance Actor", "PERFORMANCE", "ACTOR"),
+            Direction.OUT,
+        )
+        with pytest.raises(ModelError):
+            multiway_attribute_values(graph, schema, "perf1", wrong, profile)
+
+
+class TestRendering:
+    def test_format_cell(self):
+        values = [
+            (("Performance Actor", "Will Smith"), ("Performance Character", "Agent J")),
+            (("Performance Actor", "Tommy Lee Jones"), ("Performance Character", None)),
+        ]
+        text = format_multiway_cell(values)
+        assert text == "Will Smith / Agent J; Tommy Lee Jones / -"
+
+    def test_format_empty(self):
+        assert format_multiway_cell([]) == "-"

@@ -1,0 +1,128 @@
+"""Tests for parameter suggestion and tight/diverse choice (future work #1/#4)."""
+
+import pytest
+
+from repro.core import SizeConstraint
+from repro.datasets import load_domain, load_schema
+from repro.exceptions import DiscoveryError
+from repro.ext import (
+    choose_preview_flavour,
+    distance_quantile,
+    suggest_diverse_distance,
+    suggest_size,
+    suggest_tight_distance,
+)
+from repro.scoring import ScoringContext
+
+
+class TestSuggestSize:
+    def test_grows_with_budget(self, tiny_schema):
+        small = suggest_size(tiny_schema, display_rows=12, display_cols=5)
+        large = suggest_size(tiny_schema, display_rows=60, display_cols=12)
+        assert large.k >= small.k
+        assert large.n >= small.n
+
+    def test_valid_constraint(self, tiny_schema):
+        suggestion = suggest_size(tiny_schema, display_rows=30, display_cols=8)
+        constraint = suggestion.as_constraint()
+        assert constraint.k >= 1
+        assert constraint.n >= constraint.k
+
+    def test_clamped_to_schema(self, fig1_schema):
+        suggestion = suggest_size(fig1_schema, display_rows=1000, display_cols=1000)
+        assert suggestion.k <= fig1_schema.entity_type_count
+        assert suggestion.n <= fig1_schema.candidate_attribute_count
+
+    def test_tiny_budget_rejected(self, tiny_schema):
+        with pytest.raises(DiscoveryError):
+            suggest_size(tiny_schema, display_rows=2, display_cols=1)
+
+    def test_suggested_size_is_discoverable(self, tiny_domain, tiny_schema):
+        from repro.core import discover_preview
+
+        suggestion = suggest_size(tiny_schema, display_rows=24, display_cols=6)
+        result = discover_preview(tiny_domain, k=suggestion.k, n=suggestion.n)
+        assert result.preview.table_count == suggestion.k
+
+
+class TestDistanceSuggestion:
+    def test_quantiles_monotone(self, tiny_schema):
+        assert distance_quantile(tiny_schema, 0.0) <= distance_quantile(
+            tiny_schema, 0.5
+        ) <= distance_quantile(tiny_schema, 1.0)
+
+    def test_bad_quantile_rejected(self, tiny_schema):
+        with pytest.raises(DiscoveryError):
+            distance_quantile(tiny_schema, 1.5)
+
+    def test_tight_at_least_one(self, tiny_schema):
+        assert suggest_tight_distance(tiny_schema) >= 1
+
+    def test_diverse_at_least_two(self, tiny_schema):
+        assert suggest_diverse_distance(tiny_schema) >= 2
+
+    def test_diverse_at_or_above_tight(self, tiny_schema):
+        assert suggest_diverse_distance(tiny_schema) >= suggest_tight_distance(
+            tiny_schema
+        )
+
+    @pytest.mark.parametrize("domain", ["film", "tv"])
+    def test_suggested_d_satisfiable(self, domain):
+        """Suggested distances admit actual previews (non-degenerate)."""
+        from repro.core import DistanceConstraint, apriori_discover
+
+        schema = load_schema(domain)
+        graph = load_domain(domain)
+        context = ScoringContext(schema, graph)
+        size = SizeConstraint(k=3, n=6)
+        tight = apriori_discover(
+            context, size, DistanceConstraint.tight(suggest_tight_distance(schema))
+        )
+        diverse = apriori_discover(
+            context,
+            size,
+            DistanceConstraint.diverse(suggest_diverse_distance(schema)),
+        )
+        assert tight is not None
+        assert diverse is not None
+
+
+class TestFlavourChoice:
+    @pytest.fixture(scope="class")
+    def recommendation(self):
+        graph = load_domain("architecture")
+        schema = load_schema("architecture")
+        context = ScoringContext(schema, graph)
+        return choose_preview_flavour(context, SizeConstraint(k=3, n=6))
+
+    def test_produces_all_candidates(self, recommendation):
+        assert recommendation.concise is not None
+        assert recommendation.recommendation in ("tight", "diverse", "concise")
+
+    def test_retentions_bounded(self, recommendation):
+        assert 0.0 <= recommendation.tight_retention <= 1.0 + 1e-9
+        assert 0.0 <= recommendation.diverse_retention <= 1.0 + 1e-9
+
+    def test_recommended_result_consistent(self, recommendation):
+        result = recommendation.recommended_result()
+        assert result is not None
+        if recommendation.recommendation == "tight":
+            assert result is recommendation.tight
+        elif recommendation.recommendation == "diverse":
+            assert result is recommendation.diverse
+        else:
+            assert result is recommendation.concise
+
+    def test_tight_preferred_when_retention_high(self, recommendation):
+        if recommendation.tight_retention >= 0.8:
+            assert recommendation.recommendation == "tight"
+
+    def test_threshold_extremes(self):
+        graph = load_domain("architecture")
+        schema = load_schema("architecture")
+        context = ScoringContext(schema, graph)
+        size = SizeConstraint(k=3, n=6)
+        always = choose_preview_flavour(context, size, retention_threshold=0.0)
+        assert always.recommendation == "tight"
+        never = choose_preview_flavour(context, size, retention_threshold=1.1)
+        assert never.recommendation == "concise"

@@ -1,0 +1,96 @@
+"""Tests for representative tuple selection (paper future work #2)."""
+
+import pytest
+
+from repro.core import discover_preview, materialize_table
+from repro.exceptions import DiscoveryError
+from repro.ext import (
+    materialize_preview_representative,
+    select_representative_tuples,
+    selection_diagnostics,
+)
+
+
+@pytest.fixture
+def film_table(fig1_graph):
+    preview = discover_preview(fig1_graph, k=2, n=6).preview
+    return preview.table_for("FILM")
+
+
+class TestSelection:
+    def test_respects_sample_size(self, fig1_graph, film_table):
+        mat = select_representative_tuples(fig1_graph, film_table, sample_size=2)
+        assert mat.shown == 2
+        assert mat.total_tuples == 4
+
+    def test_all_when_budget_exceeds(self, fig1_graph, film_table):
+        mat = select_representative_tuples(fig1_graph, film_table, sample_size=10)
+        assert mat.shown == 4
+
+    def test_zero_budget(self, fig1_graph, film_table):
+        mat = select_representative_tuples(fig1_graph, film_table, sample_size=0)
+        assert mat.shown == 0
+
+    def test_negative_budget_rejected(self, fig1_graph, film_table):
+        with pytest.raises(DiscoveryError):
+            select_representative_tuples(fig1_graph, film_table, sample_size=-1)
+
+    def test_deterministic(self, fig1_graph, film_table):
+        a = select_representative_tuples(fig1_graph, film_table, sample_size=2)
+        b = select_representative_tuples(fig1_graph, film_table, sample_size=2)
+        assert [r.key_entity for r in a.rows] == [r.key_entity for r in b.rows]
+
+    def test_redundant_row_picked_last(self, fig1_graph, film_table):
+        """Men in Black II duplicates Men in Black's values on every
+        attribute, so the selector defers it behind Hancock, whose
+        Director value (Peter Berg) is new information."""
+        mat = select_representative_tuples(fig1_graph, film_table, sample_size=4)
+        order = [row.key_entity for row in mat.rows]
+        assert order[-1] == "Men in Black II"
+        assert set(order[:2]) == {"I, Robot", "Men in Black"}
+
+    def test_values_correct(self, fig1_graph, film_table):
+        mat = select_representative_tuples(fig1_graph, film_table, sample_size=4)
+        for row in mat.rows:
+            for attr, value in zip(film_table.nonkey, row.values):
+                assert value == fig1_graph.attribute_value(row.key_entity, attr)
+
+
+class TestDiagnostics:
+    def test_counts(self, fig1_graph, film_table):
+        mat = select_representative_tuples(fig1_graph, film_table, sample_size=4)
+        diag = selection_diagnostics(mat)
+        assert diag.total_cells == 4 * film_table.width
+        assert 0 < diag.non_empty_cells <= diag.total_cells
+        assert diag.distinct_values_covered <= diag.non_empty_cells
+        assert 0.0 < diag.fill_ratio <= 1.0
+
+    def test_empty_table_ratio(self, fig1_graph, film_table):
+        mat = select_representative_tuples(fig1_graph, film_table, sample_size=0)
+        assert selection_diagnostics(mat).fill_ratio == 0.0
+
+
+class TestAgainstRandom:
+    @pytest.mark.parametrize("domain", ["basketball", "architecture"])
+    def test_beats_or_ties_random_on_fill(self, domain):
+        """The headline property: representative >= random on fill ratio."""
+        from repro.core import discover_preview
+        from repro.datasets import load_domain
+
+        graph = load_domain(domain)
+        preview = discover_preview(graph, k=2, n=5).preview
+        for table in preview.tables:
+            rep = selection_diagnostics(
+                select_representative_tuples(graph, table, sample_size=4)
+            )
+            rnd = selection_diagnostics(
+                materialize_table(graph, table, sample_size=4, seed=1)
+            )
+            assert rep.non_empty_cells >= rnd.non_empty_cells
+            assert rep.distinct_values_covered >= rnd.distinct_values_covered
+
+    def test_preview_level_helper(self, fig1_graph):
+        preview = discover_preview(fig1_graph, k=2, n=6).preview
+        mats = materialize_preview_representative(fig1_graph, preview, sample_size=2)
+        assert len(mats) == 2
+        assert all(m.shown <= 2 for m in mats)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.graph.simple (UndirectedGraph)."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph import UndirectedGraph
+
+
+@pytest.fixture
+def graph():
+    g = UndirectedGraph()
+    g.add_edge("a", "b", 2.0)
+    g.add_edge("b", "c", 1.0)
+    g.add_edge("a", "a", 5.0)  # self loop
+    return g
+
+
+class TestEdges:
+    def test_symmetric_weight(self, graph):
+        assert graph.weight("a", "b") == graph.weight("b", "a") == 2.0
+
+    def test_weight_accumulates(self, graph):
+        graph.add_edge("a", "b", 3.0)
+        assert graph.weight("a", "b") == 5.0
+
+    def test_self_loop_stored_once(self, graph):
+        assert graph.weight("a", "a") == 5.0
+
+    def test_missing_edge_weight_zero(self, graph):
+        assert graph.weight("a", "c") == 0.0
+
+    def test_weight_missing_node_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            graph.weight("a", "ghost")
+
+    def test_edge_count_counts_loops_once(self, graph):
+        assert graph.edge_count == 3
+
+    def test_edges_yields_each_once(self, graph):
+        undirected = {frozenset((u, v)) for u, v, _w in graph.edges()}
+        assert undirected == {
+            frozenset(("a", "b")),
+            frozenset(("b", "c")),
+            frozenset(("a",)),
+        }
+
+
+class TestAdjacency:
+    def test_neighbors(self, graph):
+        assert set(graph.neighbors("b")) == {"a", "c"}
+
+    def test_self_loop_is_own_neighbor(self, graph):
+        assert "a" in set(graph.neighbors("a"))
+
+    def test_weighted_degree(self, graph):
+        assert graph.weighted_degree("a") == pytest.approx(7.0)
+        assert graph.weighted_degree("b") == pytest.approx(3.0)
+
+    def test_degree_counts_distinct_neighbors(self, graph):
+        assert graph.degree("b") == 2
+
+    def test_neighbors_missing_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            list(graph.neighbors("ghost"))
+
+
+class TestSubgraph:
+    def test_subgraph_preserves_weights(self, graph):
+        sub = graph.subgraph(["a", "b"])
+        assert sub.weight("a", "b") == 2.0
+        assert not sub.has_node("c")
+
+    def test_isolated_node(self):
+        g = UndirectedGraph()
+        g.add_node("solo")
+        assert g.node_count == 1
+        assert g.edge_count == 0
+        assert g.weighted_degree("solo") == 0.0

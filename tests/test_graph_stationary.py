@@ -1,0 +1,135 @@
+"""Unit tests for repro.graph.stationary (random walks)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    UndirectedGraph,
+    power_iteration,
+    stationary_distribution,
+    transition_matrix,
+)
+
+
+@pytest.fixture
+def triangle():
+    g = UndirectedGraph()
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("b", "c", 1.0)
+    g.add_edge("c", "a", 1.0)
+    return g
+
+
+class TestTransitionMatrix:
+    def test_rows_stochastic(self, triangle):
+        nodes = list(triangle.nodes())
+        matrix = transition_matrix(triangle, nodes)
+        for row in matrix:
+            assert sum(row) == pytest.approx(1.0)
+
+    def test_proportional_to_weights(self):
+        g = UndirectedGraph()
+        g.add_edge("a", "b", 3.0)
+        g.add_edge("a", "c", 1.0)
+        matrix = transition_matrix(g, ["a", "b", "c"], jump_probability=0.0)
+        assert matrix[0][1] == pytest.approx(0.75)
+        assert matrix[0][2] == pytest.approx(0.25)
+
+    def test_negative_jump_rejected(self, triangle):
+        with pytest.raises(GraphError):
+            transition_matrix(triangle, list(triangle.nodes()), jump_probability=-1)
+
+    def test_isolated_node_row_uniform(self):
+        g = UndirectedGraph()
+        g.add_edge("a", "b")
+        g.add_node("island")
+        matrix = transition_matrix(g, ["a", "b", "island"], jump_probability=0.0)
+        island_row = matrix[2]
+        assert island_row == pytest.approx([0.5, 0.5, 0.0])
+
+    def test_self_loops_excluded_by_default(self):
+        g = UndirectedGraph()
+        g.add_edge("a", "a", 100.0)
+        g.add_edge("a", "b", 1.0)
+        matrix = transition_matrix(g, ["a", "b"], jump_probability=0.0)
+        assert matrix[0][0] == 0.0
+        assert matrix[0][1] == pytest.approx(1.0)
+
+    def test_self_loops_included_on_request(self):
+        g = UndirectedGraph()
+        g.add_edge("a", "a", 3.0)
+        g.add_edge("a", "b", 1.0)
+        matrix = transition_matrix(
+            g, ["a", "b"], jump_probability=0.0, self_loops=True
+        )
+        assert matrix[0][0] == pytest.approx(0.75)
+
+    def test_single_node(self):
+        g = UndirectedGraph()
+        g.add_node("a")
+        assert transition_matrix(g, ["a"]) == [[1.0]]
+
+
+class TestStationaryDistribution:
+    def test_sums_to_one(self, triangle):
+        pi = stationary_distribution(triangle)
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    def test_symmetric_triangle_uniform(self, triangle):
+        pi = stationary_distribution(triangle)
+        for value in pi.values():
+            assert value == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_heavier_node_ranks_higher(self):
+        g = UndirectedGraph()
+        g.add_edge("hub", "x", 10.0)
+        g.add_edge("hub", "y", 10.0)
+        g.add_edge("x", "y", 1.0)
+        pi = stationary_distribution(g)
+        assert pi["hub"] > pi["x"]
+        assert pi["hub"] > pi["y"]
+
+    def test_disconnected_converges_with_smoothing(self):
+        g = UndirectedGraph()
+        g.add_edge("a", "b", 5.0)
+        g.add_edge("c", "d", 5.0)
+        pi = stationary_distribution(g, jump_probability=1e-5)
+        assert sum(pi.values()) == pytest.approx(1.0)
+        assert all(value > 0 for value in pi.values())
+
+    def test_stationary_is_fixed_point(self, triangle):
+        nodes = list(triangle.nodes())
+        matrix = transition_matrix(triangle, nodes)
+        pi = stationary_distribution(triangle)
+        vec = [pi[node] for node in nodes]
+        nxt = [
+            sum(vec[i] * matrix[i][j] for i in range(len(nodes)))
+            for j in range(len(nodes))
+        ]
+        for a, b in zip(vec, nxt):
+            assert a == pytest.approx(b, abs=1e-9)
+
+    def test_empty_graph(self):
+        assert stationary_distribution(UndirectedGraph()) == {}
+
+
+class TestPowerIteration:
+    def test_known_two_state_chain(self):
+        # p(a->b)=1, p(b->a)=0.5, p(b->b)=0.5  =>  pi = (1/3, 2/3)
+        matrix = [[0.0, 1.0], [0.5, 0.5]]
+        pi = power_iteration(matrix)
+        assert pi[0] == pytest.approx(1 / 3, abs=1e-9)
+        assert pi[1] == pytest.approx(2 / 3, abs=1e-9)
+
+    def test_non_convergent_raises(self):
+        # Periodic bipartite chain oscillates from the uniform start.
+        matrix = [
+            [0.0, 0.0, 1.0],
+            [0.0, 0.0, 1.0],
+            [0.5, 0.5, 0.0],
+        ]
+        with pytest.raises(GraphError):
+            power_iteration(matrix, max_iterations=50)
+
+    def test_empty_matrix(self):
+        assert power_iteration([]) == []

@@ -1,0 +1,97 @@
+"""Unit tests for repro.model.builder and repro.model.triples."""
+
+import pytest
+
+from repro.exceptions import ModelError, SchemaViolationError, UnknownEntityError
+from repro.model import (
+    EntityGraphBuilder,
+    TYPE_PREDICATE,
+    Triple,
+    entity_graph_to_triples,
+    triples_to_entity_graph,
+    validate_round_trip,
+)
+
+
+class TestBuilder:
+    def test_chaining(self):
+        graph = (
+            EntityGraphBuilder("t")
+            .entity("a", "A")
+            .entity("b", "B")
+            .build()
+        )
+        assert graph.entity_count == 2
+
+    def test_relate_infers_unique_type(self):
+        b = EntityGraphBuilder("t").entity("a", "A").entity("b", "B")
+        rel = b.relate("a", "likes", "b")
+        assert rel.source_type == "A"
+        assert rel.target_type == "B"
+
+    def test_relate_requires_disambiguation(self):
+        b = EntityGraphBuilder("t").entity("a", "A", "A2").entity("b", "B")
+        with pytest.raises(SchemaViolationError):
+            b.relate("a", "likes", "b")
+        rel = b.relate("a", "likes", "b", source_type="A2")
+        assert rel.source_type == "A2"
+
+    def test_relate_rejects_wrong_declared_type(self):
+        b = EntityGraphBuilder("t").entity("a", "A").entity("b", "B")
+        with pytest.raises(SchemaViolationError):
+            b.relate("a", "likes", "b", source_type="NOT_A")
+
+    def test_relate_unknown_entity(self):
+        b = EntityGraphBuilder("t").entity("a", "A")
+        with pytest.raises(UnknownEntityError):
+            b.relate("a", "likes", "ghost")
+
+    def test_entity_requires_types(self):
+        with pytest.raises(SchemaViolationError):
+            EntityGraphBuilder("t").entity("a")
+
+    def test_rel_type_interned(self):
+        b = EntityGraphBuilder("t").entity("a", "A").entity("b", "B")
+        r1 = b.relate("a", "likes", "b")
+        r2 = b.relate("a", "likes", "b")
+        assert r1 is r2
+
+    def test_relate_many(self):
+        b = EntityGraphBuilder("t").entity("a", "A").entity("b", "B")
+        b.relate_many([("a", "likes", "b"), ("a", "knows", "b")])
+        assert b.build().edge_count == 2
+
+    def test_entities_bulk(self):
+        b = EntityGraphBuilder("t").entities([("a", ["A"]), ("b", ["B", "C"])])
+        graph = b.build()
+        assert graph.types_of("b") == {"B", "C"}
+
+
+class TestTriples:
+    def test_round_trip_fig1(self, fig1_graph):
+        assert validate_round_trip(fig1_graph)
+
+    def test_typing_triples_first(self, fig1_graph):
+        triples = list(entity_graph_to_triples(fig1_graph))
+        first_rel = next(
+            i for i, t in enumerate(triples) if t.predicate != TYPE_PREDICATE
+        )
+        assert all(t.predicate == TYPE_PREDICATE for t in triples[:first_rel])
+
+    def test_decode_bad_predicate_raises(self):
+        triples = [
+            Triple("a", TYPE_PREDICATE, "A"),
+            Triple("a", "not-qualified", "a"),
+        ]
+        with pytest.raises(ModelError):
+            triples_to_entity_graph(triples)
+
+    def test_decode_preserves_multiplicity(self):
+        triples = [
+            Triple("a", TYPE_PREDICATE, "A"),
+            Triple("b", TYPE_PREDICATE, "B"),
+            Triple("a", "A|r|B", "b"),
+            Triple("a", "A|r|B", "b"),
+        ]
+        graph = triples_to_entity_graph(triples)
+        assert graph.edge_count == 2

@@ -1,0 +1,151 @@
+"""Unit tests for repro.model.entity_graph and repro.model.ids/attributes."""
+
+import pytest
+
+from repro.exceptions import (
+    SchemaViolationError,
+    UnknownEntityError,
+    UnknownRelationshipTypeError,
+    UnknownTypeError,
+)
+from repro.model import (
+    Direction,
+    EntityGraph,
+    NonKeyAttribute,
+    RelationshipTypeId,
+    incoming,
+    outgoing,
+    parse_qualified_name,
+    qualified_name,
+)
+
+ACTOR = RelationshipTypeId("Actor", "FILM ACTOR", "FILM")
+DIRECTOR = RelationshipTypeId("Director", "FILM DIRECTOR", "FILM")
+
+
+@pytest.fixture
+def graph():
+    g = EntityGraph("test")
+    g.add_entity("Will Smith", ["FILM ACTOR"])
+    g.add_entity("MIB", ["FILM"])
+    g.add_entity("Sonnenfeld", ["FILM DIRECTOR"])
+    g.add_relationship("Will Smith", "MIB", ACTOR)
+    g.add_relationship("Sonnenfeld", "MIB", DIRECTOR)
+    return g
+
+
+class TestRelationshipTypeId:
+    def test_same_name_different_types_distinct(self):
+        a = RelationshipTypeId("Award Winners", "FILM ACTOR", "AWARD")
+        b = RelationshipTypeId("Award Winners", "FILM DIRECTOR", "AWARD")
+        assert a != b
+
+    def test_qualified_name_round_trip(self):
+        assert parse_qualified_name(qualified_name(ACTOR)) == ACTOR
+
+    def test_parse_malformed_raises(self):
+        with pytest.raises(ValueError):
+            parse_qualified_name("only|two")
+
+    def test_reversed(self):
+        rev = ACTOR.reversed()
+        assert rev.source_type == "FILM"
+        assert rev.target_type == "FILM ACTOR"
+
+
+class TestNonKeyAttribute:
+    def test_key_and_target_types(self):
+        out = outgoing(ACTOR)
+        assert out.key_type() == "FILM ACTOR"
+        assert out.target_type() == "FILM"
+        inc = incoming(ACTOR)
+        assert inc.key_type() == "FILM"
+        assert inc.target_type() == "FILM ACTOR"
+
+    def test_direction_flip(self):
+        assert Direction.OUT.flipped() is Direction.IN
+        assert Direction.IN.flipped() is Direction.OUT
+
+
+class TestEntities:
+    def test_multi_type_entity(self, graph):
+        graph.add_entity("Will Smith", ["FILM PRODUCER"])
+        assert graph.types_of("Will Smith") == {"FILM ACTOR", "FILM PRODUCER"}
+        assert "Will Smith" in graph.entities_of_type("FILM PRODUCER")
+
+    def test_typeless_entity_rejected(self, graph):
+        with pytest.raises(SchemaViolationError):
+            graph.add_entity("nobody", [])
+
+    def test_type_count(self, graph):
+        assert graph.type_count("FILM") == 1
+        with pytest.raises(UnknownTypeError):
+            graph.type_count("GHOST")
+
+    def test_unknown_entity_raises(self, graph):
+        with pytest.raises(UnknownEntityError):
+            graph.types_of("ghost")
+
+
+class TestRelationships:
+    def test_endpoint_type_validation(self, graph):
+        bad = RelationshipTypeId("Actor", "FILM ACTOR", "FILM")
+        with pytest.raises(SchemaViolationError):
+            graph.add_relationship("Sonnenfeld", "MIB", bad)  # wrong source type
+        with pytest.raises(SchemaViolationError):
+            graph.add_relationship("Will Smith", "Sonnenfeld", bad)  # wrong target
+
+    def test_unknown_endpoints_raise(self, graph):
+        with pytest.raises(UnknownEntityError):
+            graph.add_relationship("ghost", "MIB", ACTOR)
+        with pytest.raises(UnknownEntityError):
+            graph.add_relationship("Will Smith", "ghost", ACTOR)
+
+    def test_parallel_relationships_counted(self, graph):
+        graph.add_relationship("Will Smith", "MIB", ACTOR)
+        assert graph.relationship_count(ACTOR) == 2
+        assert graph.edge_count == 3
+
+    def test_unknown_relationship_type_raises(self, graph):
+        ghost = RelationshipTypeId("Ghost", "FILM", "FILM")
+        with pytest.raises(UnknownRelationshipTypeError):
+            graph.relationship_count(ghost)
+
+
+class TestAdjacency:
+    def test_targets_and_sources(self, graph):
+        assert graph.targets("Will Smith", ACTOR) == ["MIB"]
+        assert graph.sources("MIB", ACTOR) == ["Will Smith"]
+        assert graph.targets("MIB", ACTOR) == []
+
+    def test_attribute_value_out(self, graph):
+        assert graph.attribute_value("Will Smith", outgoing(ACTOR)) == {"MIB"}
+
+    def test_attribute_value_in(self, graph):
+        value = graph.attribute_value("MIB", incoming(ACTOR))
+        assert value == {"Will Smith"}
+
+    def test_attribute_value_empty(self, graph):
+        assert graph.attribute_value("Sonnenfeld", outgoing(ACTOR)) == frozenset()
+
+
+class TestAggregates:
+    def test_type_pair_weights(self, graph):
+        weights = graph.type_pair_weights()
+        assert weights[tuple(sorted(("FILM ACTOR", "FILM")))] == 1
+        assert weights[tuple(sorted(("FILM DIRECTOR", "FILM")))] == 1
+
+    def test_stats(self, graph, fig1_graph):
+        assert graph.stats() == {
+            "entities": 3,
+            "relationships": 2,
+            "entity_types": 3,
+            "relationship_types": 2,
+        }
+        # Fig. 1: 13 entities, 18 relationships, 6 types, 5 rel types.
+        assert fig1_graph.stats() == {
+            "entities": 13,
+            "relationships": 18,
+            "entity_types": 6,
+            "relationship_types": 5,
+        }

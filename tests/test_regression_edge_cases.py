@@ -1,0 +1,207 @@
+"""Regression and edge-case tests across module boundaries.
+
+Each test here pins a behaviour that was easy to get wrong during the
+build (periodic random walks, boundary ties, self-loops, empty values)
+or exercises a cross-module path no unit file owns.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    SizeConstraint,
+    all_optimal_previews,
+    discover_preview,
+    dynamic_programming_discover,
+)
+from repro.model import (
+    EntityGraph,
+    EntityGraphBuilder,
+    RelationshipTypeId,
+    SchemaGraph,
+    incoming,
+    outgoing,
+)
+from repro.scoring import ScoringContext
+
+
+class TestBipartiteRandomWalk:
+    """Stars/trees are periodic chains; the lazy transform must converge."""
+
+    def test_star_converges(self):
+        schema = SchemaGraph()
+        for i in range(5):
+            schema.add_relationship_type(
+                RelationshipTypeId(f"spoke{i}", "HUB", f"LEAF{i}"), edge_count=2
+            )
+        context = ScoringContext(schema, key_scorer="random_walk")
+        scores = context.key_scores()
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert scores["HUB"] > max(scores[f"LEAF{i}"] for i in range(5))
+
+    def test_path_graph_converges(self):
+        schema = SchemaGraph()
+        for i in range(6):
+            schema.add_relationship_type(
+                RelationshipTypeId(f"step{i}", f"N{i}", f"N{i+1}"), edge_count=1
+            )
+        context = ScoringContext(schema, key_scorer="random_walk")
+        scores = context.key_scores()
+        # Interior nodes carry more stationary mass than endpoints.
+        assert scores["N3"] > scores["N0"]
+        assert scores["N3"] > scores["N6"]
+
+
+class TestSelfLoopSchema:
+    """Self-loop relationship types (Previous/Next Episode) end to end."""
+
+    @pytest.fixture
+    def episodes(self):
+        b = EntityGraphBuilder("episodes")
+        for i in range(5):
+            b.entity(f"ep{i}", "EPISODE")
+        for i in range(4):
+            b.relate(f"ep{i}", "Next", f"ep{i+1}")
+        return b.build()
+
+    def test_discovery_with_only_self_loops(self, episodes):
+        result = discover_preview(episodes, k=1, n=2)
+        table = result.preview.tables[0]
+        assert table.key == "EPISODE"
+        # Both orientations of the loop are usable attributes.
+        directions = {attr.direction for attr in table.nonkey}
+        assert len(table.nonkey) == 2
+        assert len(directions) == 2
+
+    def test_self_loop_weight_in_type_graph(self, episodes):
+        schema = SchemaGraph.from_entity_graph(episodes)
+        weighted = schema.undirected_weighted()
+        assert weighted.weight("EPISODE", "EPISODE") == 4.0
+
+    def test_self_loop_distance_zero(self, episodes):
+        schema = SchemaGraph.from_entity_graph(episodes)
+        assert schema.distance("EPISODE", "EPISODE") == 0
+
+
+class TestZeroScoreBoundaries:
+    def test_zero_score_attributes_not_padded_in(self):
+        """Attributes with zero marginal value are dropped, keeping the
+        preview minimal while score-equal (Definition 2 upper-bounds n)."""
+        schema = SchemaGraph()
+        schema.add_entity_type("A", entity_count=10)
+        schema.add_relationship_type(
+            RelationshipTypeId("good", "A", "B"), edge_count=5
+        )
+        # A zero-count relationship can exist in a schema built by hand.
+        schema.add_entity_type("C")
+        schema._rel_weights[RelationshipTypeId("empty", "A", "C")] = 0  # noqa: SLF001
+        context = ScoringContext(schema)
+        result = dynamic_programming_discover(context, SizeConstraint(k=1, n=4))
+        assert result.preview.attribute_count == 1
+
+    def test_all_zero_scores_still_forms_preview(self):
+        schema = SchemaGraph()
+        schema.add_entity_type("A", entity_count=0)
+        schema.add_relationship_type(RelationshipTypeId("r", "A", "B"), edge_count=1)
+        context = ScoringContext(schema)
+        result = dynamic_programming_discover(context, SizeConstraint(k=1, n=1))
+        assert result is not None
+        assert result.score == 0.0
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_entity_graph_schema(self):
+        graph = EntityGraph("empty")
+        schema = SchemaGraph.from_entity_graph(graph)
+        assert schema.entity_type_count == 0
+        assert schema.relationship_type_count == 0
+
+    def test_single_entity_no_edges_infeasible(self):
+        from repro.exceptions import InfeasiblePreviewError
+
+        graph = EntityGraph("one")
+        graph.add_entity("solo", ["T"])
+        with pytest.raises(Exception) as excinfo:
+            discover_preview(graph, k=1, n=1)
+        assert isinstance(
+            excinfo.value, (InfeasiblePreviewError, Exception)
+        )
+
+    def test_parallel_rel_types_between_same_pair(self):
+        """Producer and Executive Producer between the same type pair."""
+        b = EntityGraphBuilder("parallel")
+        b.entity("p", "PRODUCER").entity("f", "FILM")
+        b.relate("p", "Producer", "f")
+        b.relate("p", "Executive Producer", "f")
+        schema = SchemaGraph.from_entity_graph(b.build())
+        assert schema.relationship_type_count == 2
+        # The undirected weight sums both parallel relationship types.
+        assert schema.undirected_weighted().weight("PRODUCER", "FILM") == 2.0
+
+    def test_unicode_entity_names_round_trip(self, tmp_path):
+        from repro.datasets import load_domain_file, save_domain
+
+        b = EntityGraphBuilder("unicode")
+        b.entity("Amélie", "FILM").entity("Jean-Pierre Jeunet", "DIRECTOR")
+        b.relate("Jean-Pierre Jeunet", "Réalisé", "Amélie")
+        graph = b.build()
+        path = tmp_path / "unicode.tsv"
+        save_domain(graph, path)
+        clone = load_domain_file(path)
+        assert clone.has_entity("Amélie")
+        assert clone.stats() == graph.stats()
+
+
+class TestTieStability:
+    def test_all_optimal_contains_single_result(self, fig1_context):
+        """The single-result algorithms return a member of the full set."""
+        size = SizeConstraint(k=2, n=6)
+        optima = all_optimal_previews(fig1_context, size)
+        single = dynamic_programming_discover(fig1_context, size)
+        fingerprints = {
+            tuple((t.key, frozenset(t.nonkey)) for t in p.tables)
+            for p in optima
+        }
+        single_fp = tuple(
+            (t.key, frozenset(t.nonkey)) for t in single.preview.tables
+        )
+        assert single_fp in fingerprints
+
+    def test_deterministic_across_runs(self, fig1_graph):
+        a = discover_preview(fig1_graph, k=2, n=6)
+        b = discover_preview(fig1_graph, k=2, n=6)
+        assert a.preview == b.preview
+        assert a.score == b.score
+
+
+class TestEntropyValueSemantics:
+    def test_multivalued_sets_not_elements(self):
+        """{A, B} vs {A}: grouped as distinct sets, per the paper's note."""
+        b = EntityGraphBuilder("sets")
+        b.entity("f1", "FILM").entity("f2", "FILM").entity("f3", "FILM")
+        b.entity("A", "GENRE").entity("B", "GENRE")
+        b.relate("f1", "Genres", "A")
+        b.relate("f1", "Genres", "B")
+        b.relate("f2", "Genres", "A")
+        b.relate("f2", "Genres", "B")
+        b.relate("f3", "Genres", "A")
+        graph = b.build()
+        from repro.scoring import attribute_entropy
+
+        rel = RelationshipTypeId("Genres", "FILM", "GENRE")
+        value = attribute_entropy(graph, "FILM", outgoing(rel))
+        # Two groups {A,B}x2 and {A}x1 over 3 tuples (the paper's 0.28
+        # example shape, not 2/5-3/5 element counting).
+        expected = (2 / 3) * math.log10(3 / 2) + (1 / 3) * math.log10(3)
+        assert value == pytest.approx(expected)
+
+    def test_duplicate_edges_make_multiset_but_set_value(self):
+        b = EntityGraphBuilder("dupes")
+        b.entity("f", "FILM").entity("A", "GENRE")
+        b.relate("f", "Genres", "A")
+        b.relate("f", "Genres", "A")  # parallel duplicate edge
+        graph = b.build()
+        rel = RelationshipTypeId("Genres", "FILM", "GENRE")
+        assert graph.relationship_count(rel) == 2  # coverage sees both
+        assert graph.attribute_value("f", outgoing(rel)) == {"A"}  # set value

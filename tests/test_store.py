@@ -1,0 +1,174 @@
+"""Unit tests for repro.store (triple store, queries, persistence, bridge)."""
+
+import pytest
+
+from repro.exceptions import PersistenceError, StoreError
+from repro.model import Triple
+from repro.store import (
+    TripleStore,
+    entity_graph_from_store,
+    load_jsonl,
+    load_tsv,
+    query,
+    save_jsonl,
+    save_tsv,
+    schema_graph_from_store,
+    select,
+    store_from_entity_graph,
+)
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.add(Triple("will", "a", "ACTOR"))
+    s.add(Triple("mib", "a", "FILM"))
+    s.add(Triple("will", "ACTOR|acted|FILM", "mib"))
+    s.add(Triple("will", "ACTOR|acted|FILM", "mib"))  # multiplicity 2
+    s.add(Triple("tommy", "a", "ACTOR"))
+    s.add(Triple("tommy", "ACTOR|acted|FILM", "mib"))
+    return s
+
+
+class TestTripleStore:
+    def test_multiplicity(self, store):
+        assert store.count(Triple("will", "ACTOR|acted|FILM", "mib")) == 2
+        assert len(store) == 6
+        assert store.distinct_count == 5
+
+    def test_contains(self, store):
+        assert Triple("will", "a", "ACTOR") in store
+        assert Triple("x", "y", "z") not in store
+
+    def test_add_nonpositive_count_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.add(Triple("a", "b", "c"), count=0)
+
+    def test_remove_decrements(self, store):
+        t = Triple("will", "ACTOR|acted|FILM", "mib")
+        store.remove(t)
+        assert store.count(t) == 1
+        store.remove(t)
+        assert t not in store
+
+    def test_remove_too_many_raises(self, store):
+        with pytest.raises(StoreError):
+            store.remove(Triple("will", "a", "ACTOR"), count=5)
+
+    def test_remove_cleans_indexes(self, store):
+        t = Triple("tommy", "ACTOR|acted|FILM", "mib")
+        store.remove(t)
+        assert list(store.scan(subject="tommy", predicate="ACTOR|acted|FILM")) == []
+
+
+class TestScan:
+    def test_scan_by_predicate(self, store):
+        results = set(store.scan(predicate="a"))
+        assert len(results) == 3
+
+    def test_scan_fully_bound(self, store):
+        assert list(store.scan("will", "a", "ACTOR")) == [Triple("will", "a", "ACTOR")]
+        assert list(store.scan("will", "a", "FILM")) == []
+
+    def test_scan_subject_object(self, store):
+        results = list(store.scan(subject="will", object="mib"))
+        assert results == [Triple("will", "ACTOR|acted|FILM", "mib")]
+
+    def test_scan_all(self, store):
+        assert len(list(store.scan())) == 5
+
+    def test_scan_counted(self, store):
+        counts = dict(store.scan_counted(predicate="ACTOR|acted|FILM"))
+        assert counts[Triple("will", "ACTOR|acted|FILM", "mib")] == 2
+
+    def test_predicate_cardinality_includes_multiplicity(self, store):
+        assert store.predicate_cardinality("ACTOR|acted|FILM") == 3
+        assert store.predicate_cardinality("missing") == 0
+
+
+class TestQuery:
+    def test_single_pattern(self, store):
+        rows = select(store, [("?who", "a", "ACTOR")], ["?who"])
+        assert {row[0] for row in rows} == {"will", "tommy"}
+
+    def test_join(self, store):
+        rows = select(
+            store,
+            [("?who", "a", "ACTOR"), ("?who", "ACTOR|acted|FILM", "?film")],
+            ["?who", "?film"],
+        )
+        assert set(rows) == {("will", "mib"), ("tommy", "mib")}
+
+    def test_shared_variable_consistency(self, store):
+        # ?x must bind to the same value in both positions.
+        rows = query(store, [("?x", "ACTOR|acted|FILM", "?x")])
+        assert rows == []
+
+    def test_empty_patterns_rejected(self, store):
+        with pytest.raises(StoreError):
+            query(store, [])
+
+    def test_projection_requires_variables(self, store):
+        with pytest.raises(StoreError):
+            select(store, [("?who", "a", "ACTOR")], ["who"])
+
+    def test_unbound_projection_raises(self, store):
+        with pytest.raises(StoreError):
+            select(store, [("?who", "a", "ACTOR")], ["?ghost"])
+
+
+class TestPersistence:
+    @pytest.mark.parametrize(
+        "save,load,ext",
+        [(save_tsv, load_tsv, "tsv"), (save_jsonl, load_jsonl, "jsonl")],
+    )
+    def test_round_trip(self, store, tmp_path, save, load, ext):
+        path = tmp_path / f"data.{ext}"
+        rows = save(store, path)
+        assert rows == store.distinct_count
+        loaded = load(path)
+        assert sorted(loaded.triples()) == sorted(store.triples())
+
+    def test_tsv_escaping(self, tmp_path):
+        s = TripleStore()
+        tricky = Triple("a\tb", "p\nq", "o\\r")
+        s.add(tricky)
+        path = tmp_path / "tricky.tsv"
+        save_tsv(s, path)
+        assert list(load_tsv(path).scan()) == [tricky]
+
+    def test_malformed_tsv_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only\ttwo\n")
+        with pytest.raises(PersistenceError):
+            load_tsv(path)
+
+    def test_malformed_jsonl_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(PersistenceError):
+            load_jsonl(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_tsv(tmp_path / "nope.tsv")
+
+
+class TestSchemaBridge:
+    def test_entity_graph_round_trip(self, fig1_graph):
+        store = store_from_entity_graph(fig1_graph)
+        clone = entity_graph_from_store(store, name="fig1")
+        assert clone.stats() == fig1_graph.stats()
+
+    def test_schema_from_store(self, fig1_graph):
+        store = store_from_entity_graph(fig1_graph)
+        schema = schema_graph_from_store(store)
+        assert schema.entity_type_count == 6
+        assert schema.relationship_type_count == 5
+
+    def test_bad_predicate_raises(self):
+        s = TripleStore()
+        s.add(Triple("a", "a", "A"))
+        s.add(Triple("a", "unqualified", "a"))
+        with pytest.raises(StoreError):
+            entity_graph_from_store(s)
