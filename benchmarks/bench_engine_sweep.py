@@ -1,0 +1,163 @@
+"""Engine sweep benchmark — PreviewEngine vs a naive per-call loop.
+
+Runs a Fig. 9-style ``(k, n, d)`` grid on the music domain (the largest
+efficiency-experiment domain) two ways:
+
+* **naive** — one :func:`repro.core.discover_preview` call per grid
+  point, the way the seed code ran parameter sweeps: every point
+  re-enumerates the Apriori compatibility cliques and re-allocates
+  attributes for every qualifying subset;
+* **engine** — one :meth:`repro.engine.PreviewEngine.sweep` over the
+  same grid: clique subsets and per-subset allocation profiles are
+  computed once per ``(k, d, mode)`` group and every ``n`` along the
+  sweep is answered from cached prefix scores.
+
+Asserts the two produce *identical* results at every point and that the
+engine is at least 2x faster, then records wall-times to
+``BENCH_engine_sweep.json`` at the repo root so later changes can track
+the perf trajectory.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_engine_sweep.py``)
+or through pytest (``pytest benchmarks/bench_engine_sweep.py``).
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import domain_context  # noqa: E402
+
+from repro.engine import PreviewEngine, PreviewQuery  # noqa: E402
+from repro.exceptions import InfeasiblePreviewError  # noqa: E402
+
+DOMAIN = "music"
+KS = (3, 4, 5)
+NS = (8, 10, 12, 14, 16)
+#: The Fig. 9 domain-panel constraints (tight d=2, diverse d=4).  Wider
+#: tight radii blow up the clique lattice (~80 s per point at d=3, k=5 —
+#: the paper's own finding) and would make the benchmark impractical.
+DISTANCES = ((2, "tight"), (4, "diverse"))
+#: Required speedup of the engine sweep over the naive loop.
+SPEEDUP_FLOOR = 2.0
+RESULT_FILE = Path(__file__).resolve().parents[1] / "BENCH_engine_sweep.json"
+
+
+def build_grid():
+    return list(PreviewQuery.grid(ks=KS, ns=NS, distances=DISTANCES))
+
+
+def run_naive(context, queries):
+    """Per-call facade loop: no state shared beyond the scoring context."""
+    from repro.core import discover_preview
+
+    results = []
+    for query in queries:
+        try:
+            results.append(
+                discover_preview(
+                    context,
+                    k=query.k,
+                    n=query.n,
+                    d=query.d,
+                    mode=query.mode,
+                    algorithm=query.algorithm,
+                )
+            )
+        except InfeasiblePreviewError:
+            results.append(None)
+    return results
+
+
+def run_engine(context, queries):
+    """Fresh engine per run (cold caches), one sweep over the grid."""
+    engine = PreviewEngine(context)
+    return engine.sweep(queries, skip_infeasible=True), engine
+
+
+def time_runs(fn, runs=3):
+    """Best-of-N wall time in milliseconds plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, (time.perf_counter() - start) * 1000.0)
+    return best, value
+
+
+def run_benchmark():
+    context = domain_context(DOMAIN)
+    context.candidate_pool()  # shared precomputation outside both timings
+    queries = build_grid()
+
+    naive_ms, naive_results = time_runs(lambda: run_naive(context, queries))
+    engine_ms, (engine_results, engine) = time_runs(
+        lambda: run_engine(context, queries)
+    )
+
+    mismatches = []
+    for query, naive, cached in zip(queries, naive_results, engine_results):
+        if naive is None or cached is None:
+            if (naive is None) != (cached is None):
+                mismatches.append(query.describe())
+            continue
+        if (
+            naive.preview != cached.preview
+            or naive.score != cached.score
+            or naive.algorithm != cached.algorithm
+            or naive.candidates_examined != cached.candidates_examined
+        ):
+            mismatches.append(query.describe())
+
+    speedup = naive_ms / engine_ms if engine_ms > 0 else float("inf")
+    payload = {
+        "benchmark": "engine_sweep",
+        "domain": DOMAIN,
+        "grid": {
+            "ks": list(KS),
+            "ns": list(NS),
+            "distances": [list(spec) for spec in DISTANCES],
+        },
+        "points": len(queries),
+        "feasible_points": sum(1 for r in naive_results if r is not None),
+        "naive_ms": round(naive_ms, 3),
+        "engine_ms": round(engine_ms, 3),
+        "speedup": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "identical": not mismatches,
+        "mismatches": mismatches,
+        "engine_cache": engine.cache_info(),
+    }
+    RESULT_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def check(payload):
+    assert payload["identical"], (
+        f"engine sweep diverged from per-call discovery at: "
+        f"{payload['mismatches']}"
+    )
+    assert payload["speedup"] >= SPEEDUP_FLOOR, (
+        f"engine sweep only {payload['speedup']:.2f}x faster than the naive "
+        f"loop (floor {SPEEDUP_FLOOR}x): naive {payload['naive_ms']:.1f} ms, "
+        f"engine {payload['engine_ms']:.1f} ms"
+    )
+
+
+def test_engine_sweep(benchmark):
+    payload = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    check(payload)
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    print(json.dumps(result, indent=2, sort_keys=True))
+    check(result)
+    print(
+        f"\nengine sweep: {result['points']} points, "
+        f"{result['speedup']:.2f}x faster than the naive loop "
+        f"(recorded to {RESULT_FILE.name})"
+    )

@@ -1,8 +1,49 @@
-"""Compatibility shim: lets ``python setup.py develop`` work offline.
+"""Packaging for the ``repro`` preview-table library.
 
-The canonical metadata lives in pyproject.toml; this file only exists so
-editable installs succeed in environments without the ``wheel`` package.
+``pip install -e .`` installs the package from ``src/`` and exposes the
+``repro-preview`` console script — no ``PYTHONPATH=src`` workaround
+needed.  Kept as a plain ``setup.py`` (no build-time dependencies beyond
+setuptools) so editable installs succeed in offline environments.
 """
-from setuptools import setup
 
-setup()
+import os
+import re
+
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    init_path = os.path.join(here, "src", "repro", "__init__.py")
+    with open(init_path, encoding="utf-8") as handle:
+        match = re.search(r'^__version__ = "([^"]+)"', handle.read(), re.M)
+    if not match:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro-preview-tables",
+    version=read_version(),
+    description=(
+        'Reproduction of "Generating Preview Tables for Entity Graphs" '
+        "(Yan et al., SIGMOD 2016)"
+    ),
+    author="paper-repo-growth",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-preview=repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.9",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database",
+    ],
+)

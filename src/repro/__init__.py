@@ -24,6 +24,7 @@ paper's full experimental suite.
 """
 
 from .core import (
+    DISCOVERY_ALGORITHMS,
     DiscoveryResult,
     DistanceConstraint,
     DistanceMode,
@@ -36,8 +37,10 @@ from .core import (
     dynamic_programming_discover,
     make_context,
     materialize_preview,
+    register_discovery_algorithm,
     render_preview,
 )
+from .engine import PreviewEngine, PreviewQuery
 from .exceptions import (
     DiscoveryError,
     InfeasiblePreviewError,
@@ -59,9 +62,10 @@ from .model import (
 from .scoring import ScoringContext
 from .store import TripleStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "DISCOVERY_ALGORITHMS",
     "Direction",
     "DiscoveryError",
     "DiscoveryResult",
@@ -74,6 +78,8 @@ __all__ = [
     "ModelError",
     "NonKeyAttribute",
     "Preview",
+    "PreviewEngine",
+    "PreviewQuery",
     "PreviewTable",
     "RelationshipTypeId",
     "ReproError",
@@ -90,6 +96,7 @@ __all__ = [
     "dynamic_programming_discover",
     "make_context",
     "materialize_preview",
+    "register_discovery_algorithm",
     "render_preview",
     "__version__",
 ]

@@ -14,6 +14,12 @@ Tight/diverse previews::
 Preview a dataset file (TSV/JSONL in the repro triple format)::
 
     repro-preview --file mydata.tsv --tables 4 --attrs 8
+
+Force a registered algorithm, or sweep the attribute budget through the
+cache-aware engine (one line per point, shared pruning state)::
+
+    repro-preview --domain film --tables 3 --attrs 9 --algorithm brute-force
+    repro-preview --domain music --tables 5 --tight 2 --sweep-n 6:14
 """
 
 from __future__ import annotations
@@ -22,10 +28,11 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core.discovery import discover_preview
+from .core.registry import available_algorithms
 from .core.render import render_preview
 from .datasets.freebase_like import DOMAINS, load_domain
 from .datasets.loader import load_domain_file
+from .engine import PreviewEngine, PreviewQuery
 from .exceptions import ReproError
 
 
@@ -68,6 +75,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="non-key attribute scoring measure",
     )
     parser.add_argument(
+        "--algorithm",
+        choices=available_algorithms(),
+        default="auto",
+        help="discovery algorithm (auto resolves through the registry)",
+    )
+    parser.add_argument(
+        "--sweep-n",
+        metavar="LO:HI",
+        help=(
+            "sweep the attribute budget n from LO to HI through the "
+            "cache-aware engine and print one summary line per point"
+        ),
+    )
+    parser.add_argument(
         "--tuples", type=int, default=4, help="sampled tuples shown per table"
     )
     parser.add_argument(
@@ -75,6 +96,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="generation seed")
     return parser
+
+
+def _parse_sweep(spec: str) -> range:
+    """``"LO:HI"`` -> inclusive range of attribute budgets."""
+    try:
+        lo_text, hi_text = spec.split(":", 1)
+        lo, hi = int(lo_text), int(hi_text)
+    except ValueError:
+        raise ReproError(f"--sweep-n expects LO:HI, got {spec!r}") from None
+    if lo > hi:
+        raise ReproError(f"--sweep-n range is empty: {spec!r}")
+    return range(lo, hi + 1)
+
+
+def _run_sweep(engine: PreviewEngine, args: argparse.Namespace, d, mode) -> int:
+    budgets = _parse_sweep(args.sweep_n)
+    for n in budgets:
+        if n < args.tables:
+            print(f"k={args.tables}, n={n}: invalid (n must be at least k)")
+    queries = [
+        PreviewQuery(k=args.tables, n=n, d=d, mode=mode, algorithm=args.algorithm)
+        for n in budgets
+        if n >= args.tables
+    ]
+    results = engine.sweep(queries, skip_infeasible=True)
+    for query, result in zip(queries, results):
+        if result is None:
+            print(f"{query.describe()}: infeasible")
+            continue
+        keys = ", ".join(str(key) for key in result.preview.keys())
+        print(
+            f"{query.describe()}: score={result.score:.4g} "
+            f"algorithm={result.algorithm} keys=[{keys}]"
+        )
+    info = engine.cache_info()
+    print(
+        f"# engine: {info['misses']} computed, {info['hits']} cache hits, "
+        f"{info['profile_groups']} shared pruning group(s)"
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -91,14 +152,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             d, mode = args.tight, "tight"
         elif args.diverse is not None:
             d, mode = args.diverse, "diverse"
-        result = discover_preview(
+        engine = PreviewEngine(
             graph,
+            key_scorer=args.key_scorer,
+            nonkey_scorer=args.nonkey_scorer,
+        )
+        if args.sweep_n:
+            return _run_sweep(engine, args, d, mode)
+        result = engine.query(
             k=args.tables,
             n=args.attrs,
             d=d,
             mode=mode,
-            key_scorer=args.key_scorer,
-            nonkey_scorer=args.nonkey_scorer,
+            algorithm=args.algorithm,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -11,6 +11,16 @@ from .constraints import (
 )
 from .discovery import ALGORITHMS, discover_preview, make_context
 from .dynamic_prog import dynamic_programming_discover
+from .registry import (
+    CONSTRAINT_SHAPES,
+    DISCOVERY_ALGORITHMS,
+    AlgorithmSpec,
+    available_algorithms,
+    constraint_shape,
+    register_discovery_algorithm,
+    resolve_algorithm,
+    unregister_discovery_algorithm,
+)
 from .materialize import (
     DEFAULT_SAMPLE_SIZE,
     MaterializedRow,
@@ -33,7 +43,10 @@ from .serialize import (
 
 __all__ = [
     "ALGORITHMS",
+    "CONSTRAINT_SHAPES",
     "DEFAULT_SAMPLE_SIZE",
+    "DISCOVERY_ALGORITHMS",
+    "AlgorithmSpec",
     "DiscoveryResult",
     "DistanceConstraint",
     "DistanceMode",
@@ -44,6 +57,8 @@ __all__ = [
     "SizeConstraint",
     "all_optimal_previews",
     "apriori_discover",
+    "available_algorithms",
+    "constraint_shape",
     "best_preview_for_keys",
     "branch_and_bound_discover",
     "brute_force_discover",
@@ -58,8 +73,11 @@ __all__ = [
     "preview_from_json",
     "preview_to_dict",
     "preview_to_json",
+    "register_discovery_algorithm",
     "render_materialized_table",
     "render_preview",
+    "resolve_algorithm",
     "result_from_dict",
     "result_to_dict",
+    "unregister_discovery_algorithm",
 ]

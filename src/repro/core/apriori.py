@@ -24,6 +24,7 @@ from ..scoring.preview_score import ScoringContext
 from .candidates import best_preview_for_keys, eligible_key_types
 from .constraints import DistanceConstraint, SizeConstraint, validate_constraints
 from .preview import DiscoveryResult
+from .registry import register_discovery_algorithm
 from ..graph.cliques import k_cliques
 
 
@@ -72,3 +73,22 @@ def apriori_discover(
         nonkey_scorer=context.nonkey_scorer_name,
         candidates_examined=examined,
     )
+
+
+@register_discovery_algorithm(
+    "apriori",
+    shapes=("tight", "diverse"),
+    auto_rank=0,
+    notes=(
+        "requires a distance constraint; use the DP or brute-force "
+        "algorithm for concise previews"
+    ),
+)
+def _registered_apriori(
+    context: ScoringContext,
+    size: SizeConstraint,
+    distance: Optional[DistanceConstraint] = None,
+) -> Optional[DiscoveryResult]:
+    """Registry adapter: Apriori serves distance-constrained previews."""
+    assert distance is not None  # guaranteed by registry shape validation
+    return apriori_discover(context, size, distance)

@@ -25,8 +25,15 @@ from ..scoring.preview_score import ScoringContext
 from .candidates import best_preview_for_keys, eligible_key_types
 from .constraints import DistanceConstraint, SizeConstraint, validate_constraints
 from .preview import DiscoveryResult
+from .registry import register_discovery_algorithm
 
 
+@register_discovery_algorithm(
+    "branch-and-bound",
+    shapes=("concise", "tight", "diverse"),
+    auto_rank=60,
+    notes="exact best-first search; supports every constraint shape",
+)
 def branch_and_bound_discover(
     context: ScoringContext,
     size: SizeConstraint,

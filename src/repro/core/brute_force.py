@@ -22,8 +22,15 @@ from ..scoring.preview_score import ScoringContext
 from .candidates import best_preview_for_keys, eligible_key_types
 from .constraints import DistanceConstraint, SizeConstraint, validate_constraints
 from .preview import DiscoveryResult
+from .registry import register_discovery_algorithm
 
 
+@register_discovery_algorithm(
+    "brute-force",
+    shapes=("concise", "tight", "diverse"),
+    auto_rank=50,
+    notes="exhaustive baseline; supports every constraint shape",
+)
 def brute_force_discover(
     context: ScoringContext,
     size: SizeConstraint,

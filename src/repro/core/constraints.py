@@ -73,6 +73,17 @@ class DistanceConstraint:
     def diverse(cls, d: int) -> "DistanceConstraint":
         return cls(d=d, mode=DistanceMode.DIVERSE)
 
+    @classmethod
+    def from_mode(cls, d: int, mode: str) -> "DistanceConstraint":
+        """Build from a user-facing mode string (``"tight"``/``"diverse"``)."""
+        try:
+            mode_enum = DistanceMode(mode)
+        except ValueError:
+            raise InvalidConstraintError(
+                f"mode must be 'tight' or 'diverse', got {mode!r}"
+            ) from None
+        return cls(d=d, mode=mode_enum)
+
     def pair_ok(self, oracle: DistanceOracle, a: TypeId, b: TypeId) -> bool:
         """Whether one pair of key attributes satisfies the bound."""
         if self.mode is DistanceMode.TIGHT:

@@ -1,34 +1,47 @@
 """High-level preview discovery facade.
 
-:func:`discover_preview` is the main entry point of the library: given an
-entity graph (or a prebuilt :class:`ScoringContext`), a size constraint
-and an optional distance constraint, it selects the appropriate algorithm
-(DP for concise previews, Apriori-style for tight/diverse — the paper's
-recommended pairing), runs it and returns a :class:`DiscoveryResult`.
+:func:`discover_preview` is the compatibility entry point of the library:
+given an entity graph (or a prebuilt :class:`ScoringContext`), a size
+constraint and an optional distance constraint, it delegates to a
+short-lived :class:`~repro.engine.PreviewEngine`, which resolves the
+algorithm through the :data:`~repro.core.registry.DISCOVERY_ALGORITHMS`
+registry and returns a :class:`DiscoveryResult`.
+
+Dispatch is data-driven: every algorithm module registers itself at
+import time with :func:`~repro.core.registry.register_discovery_algorithm`,
+declaring which constraint shapes (concise / tight / diverse) it serves.
+``"auto"`` therefore needs no hard-coded branching — the registry picks
+the best-ranked algorithm for the query's shape, reproducing the paper's
+recommended pairing (DP for concise, Apriori for tight/diverse), and
+third-party algorithms become selectable simply by registering.  Callers
+holding many queries against one dataset should construct a
+:class:`~repro.engine.PreviewEngine` directly and keep it: the engine
+memoizes results and shares pruned candidate state across parameter
+sweeps, which this one-shot facade cannot.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
-from ..exceptions import DiscoveryError, InfeasiblePreviewError
+from ..exceptions import DiscoveryError
 from ..model.entity_graph import EntityGraph
 from ..model.schema_graph import SchemaGraph
 from ..scoring.preview_score import ScoringContext
-from .apriori import apriori_discover
-from .brute_force import brute_force_discover
-from .constraints import DistanceConstraint, DistanceMode, SizeConstraint
-from .dynamic_prog import dynamic_programming_discover
-from .preview import DiscoveryResult
 
-#: Algorithm names accepted by :func:`discover_preview`.
-ALGORITHMS = (
-    "auto",
-    "brute-force",
-    "dynamic-programming",
-    "apriori",
-    "branch-and-bound",
-)
+# Importing the algorithm modules populates the registry; all four are
+# imported eagerly so registration is uniform at import time.
+from . import apriori as _apriori  # noqa: F401
+from . import branch_bound as _branch_bound  # noqa: F401
+from . import brute_force as _brute_force  # noqa: F401
+from . import dynamic_prog as _dynamic_prog  # noqa: F401
+from .preview import DiscoveryResult
+from .registry import DISCOVERY_ALGORITHMS, available_algorithms
+
+#: Algorithm names accepted by :func:`discover_preview` — ``"auto"`` plus
+#: every registered algorithm, frozen at import time for compatibility;
+#: :data:`DISCOVERY_ALGORITHMS` is the live source of truth.
+ALGORITHMS = available_algorithms()
 
 
 def make_context(
@@ -67,7 +80,7 @@ def discover_preview(
     nonkey_scorer: str = "coverage",
     algorithm: str = "auto",
 ) -> DiscoveryResult:
-    """Discover an optimal preview.
+    """Discover an optimal preview (one-shot facade over the engine).
 
     Parameters
     ----------
@@ -82,64 +95,23 @@ def discover_preview(
     key_scorer, nonkey_scorer:
         Scoring measure names; ignored when ``data`` is a context.
     algorithm:
-        ``"auto"`` picks DP for concise and Apriori for tight/diverse,
-        the paper's recommended algorithms; any specific algorithm can be
-        forced (brute force supports every constraint type).
+        ``"auto"`` resolves through the algorithm registry to the
+        best-ranked algorithm for the constraint shape (DP for concise,
+        Apriori for tight/diverse — the paper's recommended pairing);
+        any registered algorithm can be forced by name.
 
     Raises
     ------
     InfeasiblePreviewError
         When no preview satisfies the constraints.
     DiscoveryError
-        For invalid algorithm/constraint combinations.
+        For unknown algorithms and algorithm/constraint-shape
+        combinations the registry declares unsupported.
     """
+    # Imported here, not at module top: the engine layer sits above core,
+    # and this facade is the single downward-compatibility bridge.
+    from ..engine import PreviewEngine
+
     context = make_context(data, key_scorer=key_scorer, nonkey_scorer=nonkey_scorer)
-    size = SizeConstraint(k=k, n=n)
-    distance: Optional[DistanceConstraint] = None
-    if d is not None:
-        if mode == "tight":
-            distance = DistanceConstraint.tight(d)
-        elif mode == "diverse":
-            distance = DistanceConstraint.diverse(d)
-        else:
-            raise DiscoveryError(
-                f"mode must be 'tight' or 'diverse', got {mode!r}"
-            )
-
-    if algorithm not in ALGORITHMS:
-        raise DiscoveryError(
-            f"unknown algorithm {algorithm!r}; available: {', '.join(ALGORITHMS)}"
-        )
-    if algorithm == "auto":
-        algorithm = "dynamic-programming" if distance is None else "apriori"
-
-    if algorithm == "dynamic-programming":
-        if distance is not None:
-            raise DiscoveryError(
-                "the dynamic-programming algorithm only supports concise "
-                "previews (the optimal substructure breaks under distance "
-                "constraints, Sec. 5.2)"
-            )
-        result = dynamic_programming_discover(context, size)
-    elif algorithm == "apriori":
-        if distance is None:
-            raise DiscoveryError(
-                "the Apriori-style algorithm requires a distance constraint; "
-                "use the DP or brute-force algorithm for concise previews"
-            )
-        result = apriori_discover(context, size, distance)
-    elif algorithm == "branch-and-bound":
-        from .branch_bound import branch_and_bound_discover
-
-        result = branch_and_bound_discover(context, size, distance)
-    else:
-        result = brute_force_discover(context, size, distance)
-
-    if result is None:
-        constraint_text = f"k={k}, n={n}"
-        if distance is not None:
-            constraint_text += f", {mode} d={d}"
-        raise InfeasiblePreviewError(
-            f"no preview satisfies the constraints ({constraint_text})"
-        )
-    return result
+    engine = PreviewEngine(context)
+    return engine.query(k=k, n=n, d=d, mode=mode, algorithm=algorithm)

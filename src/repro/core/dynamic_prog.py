@@ -20,12 +20,12 @@ point and routes tight/diverse discovery to Alg. 3.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..scoring.preview_score import ScoringContext
-from .candidates import best_preview_for_keys, eligible_key_types
-from .constraints import SizeConstraint, validate_constraints
+from .constraints import DistanceConstraint, SizeConstraint, validate_constraints
 from .preview import DiscoveryResult, Preview, PreviewTable
+from .registry import register_discovery_algorithm
 
 _NEG_INF = float("-inf")
 
@@ -40,25 +40,20 @@ def dynamic_programming_discover(
     maximizes total score; the preview is reconstructed from per-state
     choice records (``m`` attributes taken for type ``x``, or skip).
     """
-    key_pool = eligible_key_types(context)
+    pool = context.candidate_pool()
+    key_pool = list(pool.eligible)
     validate_constraints(size, None, key_pool)
     k, n = size.k, size.n
     big_k = len(key_pool)
     if big_k < k:
         return None
 
-    # Prefix table scores: table_score[x][m] = S(T_x^m) for m = 0..cap.
+    # Prefix table scores: table_score[x][m] = S(T_x^m) for m = 0..cap —
+    # read straight off the pool's precomputed prefix-sum rows.
     cap = size.max_attributes_per_table
-    table_score: List[List[float]] = []
-    for type_name in key_pool:
-        ranked = context.sorted_candidates(type_name)
-        key_weight = context.key_score(type_name)
-        scores = [0.0]
-        running = 0.0
-        for _attr, attr_score in ranked[:cap]:
-            running += attr_score
-            scores.append(key_weight * running)
-        table_score.append(scores)
+    table_score: List[Tuple[float, ...]] = [
+        pool.prefix[pool.index[type_name]][: cap + 1] for type_name in key_pool
+    ]
 
     # dp[i][j] = best score with exactly i tables, <= j attributes, over
     # the first x types; choice[x][i][j] = m taken for type x-1 (0 = skip).
@@ -106,8 +101,7 @@ def dynamic_programming_discover(
         if m == 0 or i == 0:
             continue
         type_name = key_pool[x - 1]
-        ranked = context.sorted_candidates(type_name)
-        attrs = tuple(attr for attr, _score in ranked[:m])
+        attrs = pool.top_m_attrs(type_name, m)
         tables.append(PreviewTable(key=type_name, nonkey=attrs))
         i -= 1
         j -= m
@@ -127,3 +121,21 @@ def dynamic_programming_discover(
         nonkey_scorer=context.nonkey_scorer_name,
         candidates_examined=big_k * k * n,
     )
+
+
+@register_discovery_algorithm(
+    "dynamic-programming",
+    shapes=("concise",),
+    auto_rank=0,
+    notes=(
+        "the optimal substructure breaks under distance constraints, "
+        "Sec. 5.2 — use apriori or brute-force for tight/diverse previews"
+    ),
+)
+def _registered_dynamic_programming(
+    context: ScoringContext,
+    size: SizeConstraint,
+    distance: Optional[DistanceConstraint] = None,
+) -> Optional[DiscoveryResult]:
+    """Registry adapter: the DP serves concise previews only."""
+    return dynamic_programming_discover(context, size)

@@ -1,0 +1,170 @@
+"""Discovery-algorithm registry: data-driven dispatch for the engine.
+
+Mirrors the scorer registries in :mod:`repro.scoring.base`
+(:data:`KEY_SCORERS` / :data:`NONKEY_SCORERS`): each discovery algorithm
+registers itself with :func:`register_discovery_algorithm`, declaring the
+*constraint shapes* it supports —
+
+* ``"concise"`` — size constraint only (Definition 2, first clause);
+* ``"tight"``   — pairwise key distance ``<= d``;
+* ``"diverse"`` — pairwise key distance ``>= d``.
+
+The facade (:func:`repro.core.discovery.discover_preview`) and the query
+engine (:class:`repro.engine.PreviewEngine`) resolve algorithm names
+through :func:`resolve_algorithm`; ``"auto"`` selection is likewise
+data-driven — the registered algorithm with the lowest ``auto_rank`` for
+the query's shape wins, which reproduces the paper's recommended pairing
+(DP for concise, Apriori for tight/diverse) without hard-coding it at the
+call site.  Third-party algorithms register the same way and immediately
+become selectable by name (and by ``auto``, if their rank beats the
+built-ins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional, Tuple
+
+from ..exceptions import DiscoveryError
+from ..scoring.preview_score import ScoringContext
+from .constraints import DistanceConstraint, DistanceMode, SizeConstraint
+from .preview import DiscoveryResult
+
+#: The three constraint shapes of Definition 2.
+CONSTRAINT_SHAPES: Tuple[str, ...] = ("concise", "tight", "diverse")
+
+#: Uniform runner signature every registered algorithm adapts to.
+AlgorithmRunner = Callable[
+    [ScoringContext, SizeConstraint, Optional[DistanceConstraint]],
+    Optional[DiscoveryResult],
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered discovery algorithm.
+
+    ``auto_rank`` orders candidates for ``"auto"`` selection per shape
+    (lower wins); ``notes`` carries the human-readable reason a shape is
+    unsupported, surfaced in :class:`~repro.exceptions.DiscoveryError`
+    messages.
+    """
+
+    name: str
+    runner: AlgorithmRunner
+    shapes: FrozenSet[str]
+    auto_rank: int = 100
+    notes: str = ""
+
+    def supports(self, shape: str) -> bool:
+        return shape in self.shapes
+
+    def run(
+        self,
+        context: ScoringContext,
+        size: SizeConstraint,
+        distance: Optional[DistanceConstraint] = None,
+    ) -> Optional[DiscoveryResult]:
+        return self.runner(context, size, distance)
+
+
+#: Name -> spec; populated at import time by the algorithm modules.
+DISCOVERY_ALGORITHMS: Dict[str, AlgorithmSpec] = {}
+
+
+def register_discovery_algorithm(
+    name: str,
+    shapes: Tuple[str, ...],
+    auto_rank: int = 100,
+    notes: str = "",
+) -> Callable[[AlgorithmRunner], AlgorithmRunner]:
+    """Decorator registering a discovery algorithm runner.
+
+    The decorated callable must accept ``(context, size, distance)`` and
+    return a :class:`DiscoveryResult` or None when no preview satisfies
+    the constraints.  Registration is idempotent per name (latest wins),
+    so test doubles can shadow and restore built-ins.
+    """
+    if not name:
+        raise ValueError("algorithm name must be non-empty")
+    unknown = set(shapes) - set(CONSTRAINT_SHAPES)
+    if unknown:
+        raise ValueError(
+            f"unknown constraint shapes {sorted(unknown)}; "
+            f"valid shapes: {', '.join(CONSTRAINT_SHAPES)}"
+        )
+    if not shapes:
+        raise ValueError(f"algorithm {name!r} must support at least one shape")
+
+    def decorator(runner: AlgorithmRunner) -> AlgorithmRunner:
+        DISCOVERY_ALGORITHMS[name] = AlgorithmSpec(
+            name=name,
+            runner=runner,
+            shapes=frozenset(shapes),
+            auto_rank=auto_rank,
+            notes=notes,
+        )
+        return runner
+
+    return decorator
+
+
+def unregister_discovery_algorithm(name: str) -> None:
+    """Remove an algorithm from the registry (test/plugin cleanup)."""
+    DISCOVERY_ALGORITHMS.pop(name, None)
+
+
+def constraint_shape(distance: Optional[DistanceConstraint]) -> str:
+    """The Definition-2 shape of a query's constraints."""
+    if distance is None:
+        return "concise"
+    if distance.mode is DistanceMode.TIGHT:
+        return "tight"
+    return "diverse"
+
+
+def available_algorithms() -> Tuple[str, ...]:
+    """``"auto"`` plus every registered name, in registration order."""
+    return ("auto",) + tuple(DISCOVERY_ALGORITHMS)
+
+
+def auto_algorithm(shape: str) -> AlgorithmSpec:
+    """The best-ranked registered algorithm for ``shape``."""
+    candidates = [
+        spec for spec in DISCOVERY_ALGORITHMS.values() if spec.supports(shape)
+    ]
+    if not candidates:
+        raise DiscoveryError(
+            f"no registered discovery algorithm supports {shape} previews"
+        )
+    return min(candidates, key=lambda spec: (spec.auto_rank, spec.name))
+
+
+def resolve_algorithm(name: str, shape: str) -> AlgorithmSpec:
+    """Resolve a user-facing algorithm name against a constraint shape.
+
+    Raises :class:`DiscoveryError` for unknown names and for
+    name/shape combinations the registered algorithm declares
+    unsupported (e.g. the DP with a distance constraint).
+    """
+    if shape not in CONSTRAINT_SHAPES:
+        raise DiscoveryError(
+            f"unknown constraint shape {shape!r}; "
+            f"valid shapes: {', '.join(CONSTRAINT_SHAPES)}"
+        )
+    if name == "auto":
+        return auto_algorithm(shape)
+    try:
+        spec = DISCOVERY_ALGORITHMS[name]
+    except KeyError:
+        raise DiscoveryError(
+            f"unknown algorithm {name!r}; available: "
+            f"{', '.join(available_algorithms())}"
+        ) from None
+    if not spec.supports(shape):
+        reason = f" ({spec.notes})" if spec.notes else ""
+        raise DiscoveryError(
+            f"algorithm {name!r} does not support {shape} previews; it "
+            f"supports: {', '.join(sorted(spec.shapes))}{reason}"
+        )
+    return spec

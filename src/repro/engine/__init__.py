@@ -1,0 +1,16 @@
+"""Registry-dispatched, cache-aware preview query engine.
+
+The engine layer sits between the discovery algorithms (:mod:`repro.core`)
+and serving surfaces (CLI, benchmarks, :mod:`repro.ext.incremental`):
+one :class:`PreviewEngine` per dataset answers single
+:class:`PreviewQuery` requests and ``sweep()`` batches, memoizing results
+and reusing pruned candidate state across sweep points.
+"""
+
+from .engine import PreviewEngine
+from .query import PreviewQuery
+
+__all__ = [
+    "PreviewEngine",
+    "PreviewQuery",
+]

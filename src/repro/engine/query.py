@@ -1,0 +1,87 @@
+"""Query specifications for the preview engine.
+
+A :class:`PreviewQuery` is the declarative form of one
+:func:`~repro.core.discovery.discover_preview` call: the size constraint
+``(k, n)``, an optional distance constraint ``(d, mode)`` and the
+algorithm name (``"auto"`` resolves through the
+:data:`~repro.core.registry.DISCOVERY_ALGORITHMS` registry).  Queries are
+immutable and hashable so the engine can memoize their results; a
+parameter sweep is just an iterable of queries (see
+:meth:`PreviewQuery.grid`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..core.constraints import DistanceConstraint, SizeConstraint
+from ..core.registry import constraint_shape
+
+
+@dataclass(frozen=True)
+class PreviewQuery:
+    """One preview request: ``(k, n)`` size, optional distance, algorithm."""
+
+    k: int
+    n: int
+    d: Optional[int] = None
+    mode: str = "tight"
+    algorithm: str = "auto"
+
+    def size(self) -> SizeConstraint:
+        """The validated size constraint (raises on malformed ``k``/``n``)."""
+        return SizeConstraint(k=self.k, n=self.n)
+
+    def distance(self) -> Optional[DistanceConstraint]:
+        """The validated distance constraint, or None for concise queries."""
+        if self.d is None:
+            return None
+        return DistanceConstraint.from_mode(self.d, self.mode)
+
+    def shape(self) -> str:
+        """The Definition-2 constraint shape (concise/tight/diverse)."""
+        return constraint_shape(self.distance())
+
+    def cache_key(self) -> Tuple:
+        """Hashable constraint identity for memoization.
+
+        ``mode`` is dropped for concise queries — a query's results do
+        not depend on the mode when there is no distance constraint.
+        The algorithm is deliberately absent: the engine composes this
+        key with the *resolved* :class:`AlgorithmSpec`, so ``"auto"``
+        and its resolved name share one memo entry.
+        """
+        mode = self.mode if self.d is not None else None
+        return (self.k, self.n, self.d, mode)
+
+    def describe(self) -> str:
+        text = f"k={self.k}, n={self.n}"
+        if self.d is not None:
+            text += f", {self.mode} d={self.d}"
+        return text
+
+    @classmethod
+    def grid(
+        cls,
+        ks: Iterable[int],
+        ns: Iterable[int],
+        distances: Iterable[Optional[Tuple[int, str]]] = (None,),
+        algorithm: str = "auto",
+    ) -> Iterator["PreviewQuery"]:
+        """Yield the cross product of parameters, in deterministic order.
+
+        ``distances`` entries are ``(d, mode)`` pairs or None for concise
+        points — the shape of the paper's Fig. 8/9 efficiency sweeps.
+        """
+        ks = tuple(ks)
+        ns = tuple(ns)
+        distances = tuple(distances)
+        for spec in distances:
+            for k in ks:
+                for n in ns:
+                    if spec is None:
+                        yield cls(k=k, n=n, algorithm=algorithm)
+                    else:
+                        d, mode = spec
+                        yield cls(k=k, n=n, d=d, mode=mode, algorithm=algorithm)

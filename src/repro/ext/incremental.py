@@ -13,6 +13,11 @@ measures (the aggregate-count ones, where incrementality is exact):
 * a *generation* counter invalidates any cached discovery result, making
   the paper's "previews cannot be incrementally updated" explicit in the
   API: callers re-run discovery (cheap — Fig. 8) against fresh scores.
+  The counter is the invalidation signal for the query-engine layer:
+  :meth:`IncrementalEntityGraph.engine` returns a
+  :class:`~repro.engine.PreviewEngine` bound to this graph, whose
+  memoized results and sweep artifacts are dropped automatically the
+  moment a mutation bumps the generation.
 
 Random-walk and entropy measures are recomputed lazily on demand: both
 are global fixed-point/histogram computations without an exact O(1)
@@ -24,9 +29,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
-from ..core.discovery import discover_preview
 from ..core.preview import DiscoveryResult
-from ..exceptions import ModelError
+from ..engine import PreviewEngine
 from ..model.entity_graph import EntityGraph
 from ..model.ids import EntityId, RelationshipTypeId, TypeId
 from ..model.schema_graph import SchemaGraph
@@ -49,8 +53,10 @@ class IncrementalEntityGraph:
         }
         #: Bumped on every mutation; cached previews must match it.
         self.generation = 0
-        self._cached_context: Optional[ScoringContext] = None
+        #: (key_scorer, nonkey_scorer) -> context, valid for one generation.
+        self._cached_contexts: Dict[tuple, ScoringContext] = {}
         self._cached_context_generation = -1
+        self._engines: Dict[tuple, PreviewEngine] = {}
 
     # ------------------------------------------------------------------
     # Read access
@@ -110,34 +116,51 @@ class IncrementalEntityGraph:
         (already folded into the schema graph); random-walk/entropy
         contexts trigger their lazy global recomputation here.
         """
-        if (
-            self._cached_context is not None
-            and self._cached_context_generation == self.generation
-            and self._cached_context.key_scorer_name == key_scorer
-            and self._cached_context.nonkey_scorer_name == nonkey_scorer
-        ):
-            return self._cached_context
-        context = ScoringContext(
-            self._schema,
-            self._graph,
-            key_scorer=key_scorer,
-            nonkey_scorer=nonkey_scorer,
-        )
-        self._cached_context = context
-        self._cached_context_generation = self.generation
+        if self._cached_context_generation != self.generation:
+            self._cached_contexts.clear()
+            self._cached_context_generation = self.generation
+        cache_key = (key_scorer, nonkey_scorer)
+        context = self._cached_contexts.get(cache_key)
+        if context is None:
+            context = ScoringContext(
+                self._schema,
+                self._graph,
+                key_scorer=key_scorer,
+                nonkey_scorer=nonkey_scorer,
+            )
+            self._cached_contexts[cache_key] = context
         return context
+
+    def engine(
+        self, key_scorer: str = "coverage", nonkey_scorer: str = "coverage"
+    ) -> PreviewEngine:
+        """A :class:`PreviewEngine` wired to this graph's generation counter.
+
+        One engine per scorer pair is kept alive for the graph's
+        lifetime, so repeated queries between mutations hit its memo
+        cache; any mutation bumps :attr:`generation`, which the engine
+        observes and uses to drop every cached result.
+        """
+        cache_key = (key_scorer, nonkey_scorer)
+        engine = self._engines.get(cache_key)
+        if engine is None:
+            engine = PreviewEngine(
+                self, key_scorer=key_scorer, nonkey_scorer=nonkey_scorer
+            )
+            self._engines[cache_key] = engine
+        return engine
 
     def discover(self, k: int, n: int, **kwargs) -> DiscoveryResult:
         """Run discovery against up-to-date scores.
 
         Optimal previews cannot be patched in place (Sec. 5), so this
-        always re-solves — against incrementally maintained aggregates.
+        always re-solves — against incrementally maintained aggregates,
+        through the generation-aware engine (a repeat of an unchanged
+        query between mutations is answered from its cache).
         """
         key_scorer = kwargs.pop("key_scorer", "coverage")
         nonkey_scorer = kwargs.pop("nonkey_scorer", "coverage")
-        return discover_preview(
-            self.context(key_scorer, nonkey_scorer), k=k, n=n, **kwargs
-        )
+        return self.engine(key_scorer, nonkey_scorer).query(k=k, n=n, **kwargs)
 
     def verify_against_rescan(self) -> bool:
         """Cross-check incremental aggregates against a full rescan.

@@ -10,6 +10,7 @@ from .base import (
     register_key_scorer,
     register_nonkey_scorer,
 )
+from .candidate_pool import CandidatePool
 from .coverage import CoverageKeyScorer, CoverageNonKeyScorer
 from .entropy import (
     DEFAULT_LOG_BASE,
@@ -21,6 +22,7 @@ from .preview_score import ScoringContext
 from .random_walk import RandomWalkKeyScorer
 
 __all__ = [
+    "CandidatePool",
     "CoverageKeyScorer",
     "CoverageNonKeyScorer",
     "DEFAULT_LOG_BASE",

@@ -1,0 +1,108 @@
+"""Flat, precomputed candidate arrays shared by all discovery algorithms.
+
+Every algorithm of Sec. 5 consumes the same artifacts: the key scores
+``S(τ)``, the sorted candidate lists ``Γτ`` and, via Theorem 3, the
+scores of top-``m`` prefix tables ``S(T_τ^m)``.  The seed implementation
+rebuilt these per call from :class:`ScoringContext`'s dictionaries — the
+hot path of the Fig. 8 / Fig. 9 efficiency sweeps.  :class:`CandidatePool`
+computes them once per context into flat parallel arrays:
+
+Layout (all tuples indexed by one *type index* ``i``):
+
+* ``types[i]``        — the entity type (``TypeId``), in schema order;
+* ``key_scores[i]``   — ``S(types[i])``;
+* ``attrs[i][r]``     — rank-``r`` candidate of ``Γ_{types[i]}`` (rank 0 is
+  the best candidate; ties broken lexically, matching
+  :meth:`ScoringContext.sorted_candidates`);
+* ``attr_scores[i][r]`` — ``Sτ(attrs[i][r])``;
+* ``weighted[i][r]``  — ``S(τ) × Sτ(γ)``, the merge key of Alg. 1;
+* ``prefix[i][m]``    — ``S(T_τ^m)``, the score of the table keyed on
+  ``types[i]`` with its top-``m`` candidates.  By convention
+  ``prefix[i][0] == 0.0`` and ``len(prefix[i]) == len(attrs[i]) + 1``,
+  so a prefix lookup replaces the per-call O(m) sums of
+  ``top_m_table_score``.
+
+``eligible`` lists the types with a non-empty candidate list (the only
+ones that can key a preview table), preserving schema order so every
+algorithm enumerates k-subsets in the exact order the seed code did —
+tie-breaking between equal-scoring previews is unchanged.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..model.attributes import NonKeyAttribute
+from ..model.ids import TypeId
+
+
+@dataclass(frozen=True)
+class CandidatePool:
+    """Immutable flat view of one :class:`ScoringContext`'s scores."""
+
+    types: Tuple[TypeId, ...]
+    key_scores: Tuple[float, ...]
+    attrs: Tuple[Tuple[NonKeyAttribute, ...], ...]
+    attr_scores: Tuple[Tuple[float, ...], ...]
+    weighted: Tuple[Tuple[float, ...], ...]
+    prefix: Tuple[Tuple[float, ...], ...]
+    index: Dict[TypeId, int]
+    eligible: Tuple[TypeId, ...]
+
+    @classmethod
+    def build(
+        cls,
+        types: Sequence[TypeId],
+        key_scores: Dict[TypeId, float],
+        sorted_candidates: Dict[TypeId, List[Tuple[NonKeyAttribute, float]]],
+    ) -> "CandidatePool":
+        """Assemble the pool from a context's precomputed dictionaries."""
+        type_tuple = tuple(types)
+        keys = array("d", (key_scores[t] for t in type_tuple))
+        attrs: List[Tuple[NonKeyAttribute, ...]] = []
+        attr_scores: List[Tuple[float, ...]] = []
+        weighted: List[Tuple[float, ...]] = []
+        prefix: List[Tuple[float, ...]] = []
+        for i, type_name in enumerate(type_tuple):
+            ranked = sorted_candidates.get(type_name, [])
+            attrs.append(tuple(attr for attr, _score in ranked))
+            scores = tuple(score for _attr, score in ranked)
+            attr_scores.append(scores)
+            key_weight = keys[i]
+            weighted.append(tuple(key_weight * score for score in scores))
+            sums = array("d", [0.0])
+            running = 0.0
+            for score in scores:
+                running += score
+                sums.append(key_weight * running)
+            prefix.append(tuple(sums))
+        return cls(
+            types=type_tuple,
+            key_scores=tuple(keys),
+            attrs=tuple(attrs),
+            attr_scores=tuple(attr_scores),
+            weighted=tuple(weighted),
+            prefix=tuple(prefix),
+            index={t: i for i, t in enumerate(type_tuple)},
+            eligible=tuple(t for i, t in enumerate(type_tuple) if attrs[i]),
+        )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def candidate_count(self, type_name: TypeId) -> int:
+        """``|Γτ|`` for one type."""
+        return len(self.attrs[self.index[type_name]])
+
+    def top_m_score(self, type_name: TypeId, m: int) -> float:
+        """``S(T_τ^m)`` via the prefix table (O(1); ``m`` is clamped)."""
+        row = self.prefix[self.index[type_name]]
+        if m >= len(row):
+            return row[-1]
+        return row[m]
+
+    def top_m_attrs(self, type_name: TypeId, m: int) -> Tuple[NonKeyAttribute, ...]:
+        """The top-``m`` prefix of ``Γτ`` (Theorem 3's table contents)."""
+        return self.attrs[self.index[type_name]][:m]

@@ -12,6 +12,15 @@ graph) with one key scorer and one non-key scorer, precomputes every score
 once — the paper assumes exactly this precomputation before discovery
 (Sec. 5) — and exposes the sorted candidate lists ``Γτ`` that Theorem 3
 makes sufficient for optimality.
+
+The context additionally materializes a :class:`CandidatePool`
+(:meth:`ScoringContext.candidate_pool`, built lazily and cached): flat
+parallel arrays of per-type key scores, sorted ``Γτ`` candidates with
+their raw and ``S(τ)``-weighted scores, and top-``m`` prefix-sum tables
+``prefix[i][m] = S(T_τ^m)`` with ``prefix[i][0] == 0``.  The discovery
+algorithms read from the pool instead of re-deriving dictionaries and
+sorts per call — see :mod:`repro.scoring.candidate_pool` for the exact
+array layout and conventions.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from .base import (
     make_key_scorer,
     make_nonkey_scorer,
 )
+from .candidate_pool import CandidatePool
 
 
 class ScoringContext:
@@ -82,6 +92,7 @@ class ScoringContext:
                 scores.items(), key=lambda item: (-item[1], str(item[0]))
             )
             self._sorted_candidates[type_name] = ranked
+        self._pool: Optional[CandidatePool] = None
 
     # ------------------------------------------------------------------
     # Names (for reports)
@@ -131,6 +142,21 @@ class ScoringContext:
 
             raise UnknownTypeError(key_type) from None
 
+    def candidate_pool(self) -> CandidatePool:
+        """The flat precomputed arrays the discovery algorithms consume.
+
+        Built on first access and cached for the context's lifetime
+        (scores are immutable once the context exists — mutations go
+        through a new context, see ``ext.incremental``).
+        """
+        if self._pool is None:
+            self._pool = CandidatePool.build(
+                self.schema.entity_types(),
+                self._key_scores,
+                self._sorted_candidates,
+            )
+        return self._pool
+
     def ranked_key_types(self) -> List[Tuple[TypeId, float]]:
         """All entity types by descending key score (ties lexically)."""
         return sorted(
@@ -152,14 +178,17 @@ class ScoringContext:
     def top_m_table_score(self, key_type: TypeId, m: int) -> float:
         """Score of the table using the top-``m`` candidates of ``key_type``.
 
-        Efficient building block for the discovery algorithms: with the
-        sorted list cached this is an O(m) prefix sum.
+        Efficient building block for the discovery algorithms: an O(1)
+        lookup in the candidate pool's precomputed prefix-sum table.
         """
         if m < 0:
             raise ScoringError(f"m must be non-negative, got {m}")
-        ranked = self._sorted_candidates.get(key_type, [])
-        prefix = ranked[:m]
-        return self.key_score(key_type) * sum(score for _attr, score in prefix)
+        try:
+            return self.candidate_pool().top_m_score(key_type, m)
+        except KeyError:
+            from ..exceptions import UnknownTypeError
+
+            raise UnknownTypeError(key_type) from None
 
     def preview_score(
         self, tables: Iterable[Tuple[TypeId, Iterable[NonKeyAttribute]]]

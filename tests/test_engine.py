@@ -1,0 +1,345 @@
+"""Tests for the algorithm registry and the PreviewEngine."""
+
+import pytest
+
+from repro.core import (
+    ALGORITHMS,
+    DISCOVERY_ALGORITHMS,
+    DistanceConstraint,
+    SizeConstraint,
+    apriori_discover,
+    available_algorithms,
+    constraint_shape,
+    discover_preview,
+    make_context,
+    register_discovery_algorithm,
+    resolve_algorithm,
+    unregister_discovery_algorithm,
+)
+from repro.engine import PreviewEngine, PreviewQuery
+from repro.exceptions import DiscoveryError, InfeasiblePreviewError
+from repro.ext import IncrementalEntityGraph
+from repro.model import RelationshipTypeId
+
+ACTED = RelationshipTypeId("Acted In", "ACTOR", "FILM")
+DIRECTED = RelationshipTypeId("Directed", "DIRECTOR", "FILM")
+
+
+class TestRegistry:
+    def test_all_four_algorithms_registered(self):
+        assert set(DISCOVERY_ALGORITHMS) == {
+            "brute-force",
+            "dynamic-programming",
+            "apriori",
+            "branch-and-bound",
+        }
+        for name in DISCOVERY_ALGORITHMS:
+            assert name in ALGORITHMS
+        assert available_algorithms()[0] == "auto"
+
+    def test_declared_shapes(self):
+        assert DISCOVERY_ALGORITHMS["dynamic-programming"].shapes == {"concise"}
+        assert DISCOVERY_ALGORITHMS["apriori"].shapes == {"tight", "diverse"}
+        for name in ("brute-force", "branch-and-bound"):
+            assert DISCOVERY_ALGORITHMS[name].shapes == {
+                "concise",
+                "tight",
+                "diverse",
+            }
+
+    def test_constraint_shape(self):
+        assert constraint_shape(None) == "concise"
+        assert constraint_shape(DistanceConstraint.tight(2)) == "tight"
+        assert constraint_shape(DistanceConstraint.diverse(2)) == "diverse"
+
+    def test_auto_resolves_to_papers_pairing(self):
+        assert resolve_algorithm("auto", "concise").name == "dynamic-programming"
+        assert resolve_algorithm("auto", "tight").name == "apriori"
+        assert resolve_algorithm("auto", "diverse").name == "apriori"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(DiscoveryError, match="unknown algorithm"):
+            resolve_algorithm("quantum", "concise")
+
+    def test_dp_with_distance_rejected_via_registry(self, fig1_graph):
+        """Satellite: forcing the DP onto a distance constraint must fail
+        through the registry path with a DiscoveryError."""
+        with pytest.raises(DiscoveryError, match="does not support tight"):
+            discover_preview(
+                fig1_graph, k=2, n=6, d=2, algorithm="dynamic-programming"
+            )
+        with pytest.raises(DiscoveryError, match="does not support diverse"):
+            discover_preview(
+                fig1_graph,
+                k=2,
+                n=6,
+                d=2,
+                mode="diverse",
+                algorithm="dynamic-programming",
+            )
+
+    def test_apriori_without_distance_rejected(self, fig1_graph):
+        with pytest.raises(DiscoveryError, match="does not support concise"):
+            discover_preview(fig1_graph, k=2, n=6, algorithm="apriori")
+
+    def test_registration_validation(self):
+        with pytest.raises(ValueError, match="unknown constraint shapes"):
+            register_discovery_algorithm("bad", shapes=("cosy",))
+        with pytest.raises(ValueError, match="at least one shape"):
+            register_discovery_algorithm("bad", shapes=())
+
+    def test_third_party_algorithm_registers_and_dispatches(self, fig1_graph):
+        """A registered third-party algorithm is selectable by name."""
+        calls = []
+
+        @register_discovery_algorithm(
+            "always-brute", shapes=("concise", "tight", "diverse")
+        )
+        def _always_brute(context, size, distance=None):
+            calls.append((size.k, size.n))
+            from repro.core import brute_force_discover
+
+            return brute_force_discover(context, size, distance)
+
+        try:
+            result = discover_preview(
+                fig1_graph, k=2, n=6, algorithm="always-brute"
+            )
+            assert calls == [(2, 6)]
+            reference = discover_preview(fig1_graph, k=2, n=6)
+            assert result.score == pytest.approx(reference.score)
+        finally:
+            unregister_discovery_algorithm("always-brute")
+        assert "always-brute" not in DISCOVERY_ALGORITHMS
+
+
+class TestPreviewQuery:
+    def test_cache_key_ignores_mode_without_distance(self):
+        a = PreviewQuery(k=2, n=6, mode="tight")
+        b = PreviewQuery(k=2, n=6, mode="diverse")
+        assert a.cache_key() == b.cache_key()
+        c = PreviewQuery(k=2, n=6, d=2, mode="diverse")
+        assert a.cache_key() != c.cache_key()
+
+    def test_shape_and_describe(self):
+        assert PreviewQuery(k=2, n=6).shape() == "concise"
+        query = PreviewQuery(k=2, n=6, d=3, mode="diverse")
+        assert query.shape() == "diverse"
+        assert query.describe() == "k=2, n=6, diverse d=3"
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(DiscoveryError):
+            PreviewQuery(k=2, n=6, d=2, mode="cosy").distance()
+
+    def test_grid_is_deterministic_cross_product(self):
+        grid = list(
+            PreviewQuery.grid(
+                ks=(1, 2), ns=(3, 4), distances=[None, (2, "tight")]
+            )
+        )
+        assert len(grid) == 8
+        assert grid[0] == PreviewQuery(k=1, n=3)
+        assert grid[-1] == PreviewQuery(k=2, n=4, d=2, mode="tight")
+
+
+class TestPreviewEngine:
+    def test_accepts_graph_schema_and_context(self, fig1_graph, fig1_schema):
+        for data in (fig1_graph, fig1_schema, make_context(fig1_graph)):
+            result = PreviewEngine(data).query(k=2, n=6)
+            assert result.preview.table_count == 2
+
+    def test_matches_facade_for_every_algorithm(self, fig1_graph):
+        context = make_context(fig1_graph)
+        engine = PreviewEngine(context)
+        cases = [
+            dict(algorithm="auto"),
+            dict(algorithm="brute-force"),
+            dict(algorithm="dynamic-programming"),
+            dict(algorithm="branch-and-bound"),
+            dict(d=1, mode="tight", algorithm="auto"),
+            dict(d=1, mode="tight", algorithm="apriori"),
+            dict(d=1, mode="tight", algorithm="brute-force"),
+            dict(d=1, mode="tight", algorithm="branch-and-bound"),
+            dict(d=2, mode="diverse", algorithm="apriori"),
+        ]
+        for case in cases:
+            expected = discover_preview(context, k=2, n=6, **case)
+            actual = engine.query(k=2, n=6, **case)
+            assert actual == expected, case
+
+    def test_apriori_fast_path_matches_legacy_algorithm(self, fig1_context):
+        """The sweep fast path must replicate apriori_discover exactly."""
+        engine = PreviewEngine(fig1_context)
+        for d, mode in ((1, "tight"), (2, "tight"), (2, "diverse")):
+            for n in range(2, 7):
+                constraint = (
+                    DistanceConstraint.tight(d)
+                    if mode == "tight"
+                    else DistanceConstraint.diverse(d)
+                )
+                legacy = apriori_discover(
+                    fig1_context, SizeConstraint(k=2, n=n), constraint
+                )
+                if legacy is None:
+                    with pytest.raises(InfeasiblePreviewError):
+                        engine.query(k=2, n=n, d=d, mode=mode)
+                else:
+                    assert engine.query(k=2, n=n, d=d, mode=mode) == legacy
+
+    def test_shadowed_apriori_beats_fast_path(self, fig1_graph):
+        """Latest-wins registration must also win over the sweep fast path."""
+        calls = []
+        original = DISCOVERY_ALGORITHMS["apriori"]
+
+        @register_discovery_algorithm("apriori", shapes=("tight", "diverse"))
+        def _shadow(context, size, distance=None):
+            calls.append(size.n)
+            return original.run(context, size, distance)
+
+        try:
+            engine = PreviewEngine(fig1_graph)
+            engine.query(k=2, n=6, d=1, mode="tight", algorithm="apriori")
+            assert calls == [6]  # the shadow ran, not the built-in fast path
+        finally:
+            DISCOVERY_ALGORITHMS["apriori"] = original
+
+    def test_reregistration_is_not_served_stale_results(self, fig1_graph):
+        """Memo entries are keyed by the resolved spec, not just the name."""
+        engine = PreviewEngine(fig1_graph)
+        first = engine.query(k=2, n=6, algorithm="brute-force")
+        original = DISCOVERY_ALGORITHMS["brute-force"]
+
+        @register_discovery_algorithm(
+            "brute-force", shapes=("concise", "tight", "diverse")
+        )
+        def _replacement(context, size, distance=None):
+            return None  # everything is suddenly infeasible
+
+        try:
+            with pytest.raises(InfeasiblePreviewError):
+                engine.query(k=2, n=6, algorithm="brute-force")
+        finally:
+            DISCOVERY_ALGORITHMS["brute-force"] = original
+        # And the original spec's cached result is still served afterwards.
+        assert engine.query(k=2, n=6, algorithm="brute-force") is first
+
+    def test_memoizes_results(self, fig1_graph):
+        engine = PreviewEngine(fig1_graph)
+        first = engine.query(k=2, n=6)
+        second = engine.query(k=2, n=6)
+        assert second is first  # cached object, not a recomputation
+        info = engine.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_memoizes_infeasibility(self, fig1_graph):
+        engine = PreviewEngine(fig1_graph)
+        for _ in range(2):
+            with pytest.raises(InfeasiblePreviewError):
+                engine.query(k=3, n=6, d=3, mode="diverse")
+        info = engine.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_sweep_matches_per_call_facade(self, fig1_graph):
+        context = make_context(fig1_graph)
+        engine = PreviewEngine(context)
+        grid = list(
+            PreviewQuery.grid(
+                ks=(1, 2),
+                ns=(4, 5, 6),
+                distances=[None, (1, "tight"), (2, "diverse")],
+            )
+        )
+        swept = engine.sweep(grid, skip_infeasible=True)
+        assert len(swept) == len(grid)
+        for query, result in zip(grid, swept):
+            try:
+                expected = discover_preview(
+                    context,
+                    k=query.k,
+                    n=query.n,
+                    d=query.d,
+                    mode=query.mode,
+                    algorithm=query.algorithm,
+                )
+            except InfeasiblePreviewError:
+                expected = None
+            assert result == expected, query
+
+    def test_sweep_raises_on_infeasible_by_default(self, fig1_graph):
+        engine = PreviewEngine(fig1_graph)
+        with pytest.raises(InfeasiblePreviewError):
+            engine.sweep([PreviewQuery(k=3, n=6, d=3, mode="diverse")])
+
+    def test_sweep_shares_pruning_state_across_n(self, fig1_graph):
+        engine = PreviewEngine(fig1_graph)
+        engine.sweep(
+            [PreviewQuery(k=2, n=n, d=1, mode="tight") for n in (4, 5, 6)]
+        )
+        # One clique/profile group serves all three attribute budgets.
+        assert engine.cache_info()["profile_groups"] == 1
+
+    def test_invalidate_clears_caches(self, fig1_graph):
+        engine = PreviewEngine(fig1_graph)
+        engine.query(k=2, n=6)
+        engine.invalidate()
+        info = engine.cache_info()
+        assert info["results"] == 0 and info["invalidations"] == 1
+        assert engine.query(k=2, n=6).preview.table_count == 2
+
+
+class TestEngineCacheInvalidation:
+    """Generation-driven invalidation over a mutating entity graph."""
+
+    @pytest.fixture
+    def live(self):
+        inc = IncrementalEntityGraph(name="live")
+        for i in range(3):
+            inc.add_entity(f"film{i}", ["FILM"])
+        inc.add_entity("actor0", ["ACTOR"])
+        inc.add_entity("director0", ["DIRECTOR"])
+        for i in range(3):
+            inc.add_relationship("actor0", f"film{i}", ACTED)
+        inc.add_relationship("director0", "film0", DIRECTED)
+        return inc
+
+    def test_engine_is_cached_per_scorer_pair(self, live):
+        assert live.engine() is live.engine()
+        assert live.engine() is not live.engine("random_walk")
+
+    def test_mutation_invalidates_and_resolves_fresh(self, live):
+        engine = live.engine()
+        before = engine.query(k=1, n=2)
+        assert engine.query(k=1, n=2) is before  # cached while unchanged
+
+        # A directing spree makes DIRECTED the dominant relationship.
+        for i in range(1, 3):
+            live.add_relationship("director0", f"film{i}", DIRECTED)
+        for i in range(10):
+            live.add_entity(f"film{i + 3}", ["FILM"])
+            live.add_relationship("director0", f"film{i + 3}", DIRECTED)
+
+        after = engine.query(k=1, n=2)
+        assert engine.cache_info()["invalidations"] >= 1
+        assert engine.cache_info()["generation"] == live.generation
+        assert after.score > before.score  # re-solved against fresh scores
+        # And identical to a from-scratch discovery on the mutated graph.
+        fresh = discover_preview(live.context(), k=1, n=2)
+        assert after == fresh
+
+    def test_discover_routes_through_generation_aware_engine(self, live):
+        first = live.discover(k=1, n=2)
+        second = live.discover(k=1, n=2)
+        assert second is first  # memo hit between mutations
+        live.add_entity("film99", ["FILM"])
+        third = live.discover(k=1, n=2)
+        assert third is not first
+
+    def test_distance_sweep_state_dropped_on_mutation(self, live):
+        engine = live.engine()
+        engine.query(k=2, n=4, d=2, mode="tight")
+        assert engine.cache_info()["profile_groups"] == 1
+        live.add_entity("genre0", ["GENRE"])
+        engine.query(k=2, n=4, d=2, mode="tight")
+        info = engine.cache_info()
+        assert info["generation"] == live.generation
+        assert info["profile_groups"] == 1  # rebuilt for the new generation

@@ -10,9 +10,12 @@ from repro.core import (
     SizeConstraint,
     apriori_discover,
     brute_force_discover,
+    discover_preview,
     dynamic_programming_discover,
 )
 from repro.core.candidates import best_preview_for_keys
+from repro.engine import PreviewEngine, PreviewQuery
+from repro.exceptions import InfeasiblePreviewError
 from repro.datasets import random_entity_graph, random_schema_graph
 from repro.eval import pearson_correlation, two_proportion_z_test
 from repro.graph import apriori_k_cliques, bron_kerbosch_k_cliques
@@ -72,6 +75,78 @@ def test_apriori_matches_brute_force(params, k, d, tight):
     assert (bf is None) == (ap is None)
     if bf is not None:
         assert math.isclose(bf.score, ap.score, rel_tol=1e-9)
+
+
+@SMALL
+@given(schema_params, st.integers(1, 3), st.integers(0, 4), st.integers(1, 3))
+def test_engine_identical_to_legacy_for_all_algorithms(params, k, extra_n, d):
+    """PreviewEngine answers == per-call discover_preview, all 4 algorithms.
+
+    Runs the whole case list through one engine (exercising its memo and
+    shared sweep state) and through the per-call facade on the same
+    context, comparing full DiscoveryResults — previews, exact scores
+    and bookkeeping alike — including agreement on infeasibility.  For
+    apriori-resolved points the facade shares the engine's fast path, so
+    those are additionally pinned against the legacy apriori_discover
+    (the independent oracle); the dedicated fast-path property below
+    covers that pairing across budgets.
+    """
+    num_types, num_rels, seed = params
+    schema = random_schema_graph(num_types, max(num_rels, num_types - 1), seed=seed)
+    context = ScoringContext(schema)
+    k = min(k, num_types)
+    n = k + extra_n
+    queries = [
+        PreviewQuery(k=k, n=n, algorithm=algorithm)
+        for algorithm in ("auto", "brute-force", "dynamic-programming", "branch-and-bound")
+    ] + [
+        PreviewQuery(k=k, n=n, d=d, mode=mode, algorithm=algorithm)
+        for mode in ("tight", "diverse")
+        for algorithm in ("auto", "apriori", "brute-force", "branch-and-bound")
+    ]
+    engine = PreviewEngine(context)
+    swept = engine.sweep(queries, skip_infeasible=True)
+    for query, result in zip(queries, swept):
+        try:
+            expected = discover_preview(
+                context,
+                k=query.k,
+                n=query.n,
+                d=query.d,
+                mode=query.mode,
+                algorithm=query.algorithm,
+            )
+        except InfeasiblePreviewError:
+            expected = None
+        assert result == expected, query
+        if result is not None and result.algorithm.startswith("apriori"):
+            legacy = apriori_discover(
+                context, SizeConstraint(k=query.k, n=query.n), query.distance()
+            )
+            assert result == legacy, query
+
+
+@SMALL
+@given(schema_params, st.integers(2, 3), st.integers(1, 3), st.booleans())
+def test_engine_apriori_fast_path_matches_legacy(params, k, d, tight):
+    """The engine's shared-profile fast path == apriori_discover, exactly."""
+    num_types, num_rels, seed = params
+    schema = random_schema_graph(num_types, max(num_rels, num_types - 1), seed=seed)
+    context = ScoringContext(schema)
+    k = min(k, num_types)
+    constraint = DistanceConstraint.tight(d) if tight else DistanceConstraint.diverse(d)
+    mode = "tight" if tight else "diverse"
+    engine = PreviewEngine(context)
+    for n in range(k, k + 4):
+        legacy = apriori_discover(context, SizeConstraint(k=k, n=n), constraint)
+        try:
+            fast = engine.query(k=k, n=n, d=d, mode=mode, algorithm="apriori")
+        except InfeasiblePreviewError:
+            fast = None
+        if legacy is None:
+            assert fast is None
+        else:
+            assert fast == legacy
 
 
 @SMALL
