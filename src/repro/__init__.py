@@ -41,6 +41,7 @@ from .core import (
     render_preview,
 )
 from .engine import PreviewEngine, PreviewQuery
+from .parallel import ScoringSnapshot, ShardedExecutor, resolve_jobs
 from .exceptions import (
     DiscoveryError,
     InfeasiblePreviewError,
@@ -87,6 +88,8 @@ __all__ = [
     "SchemaViolationError",
     "ScoringContext",
     "ScoringError",
+    "ScoringSnapshot",
+    "ShardedExecutor",
     "SizeConstraint",
     "StoreError",
     "TripleStore",
@@ -98,5 +101,6 @@ __all__ = [
     "materialize_preview",
     "register_discovery_algorithm",
     "render_preview",
+    "resolve_jobs",
     "__version__",
 ]

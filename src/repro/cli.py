@@ -20,6 +20,11 @@ cache-aware engine (one line per point, shared pruning state)::
 
     repro-preview --domain film --tables 3 --attrs 9 --algorithm brute-force
     repro-preview --domain music --tables 5 --tight 2 --sweep-n 6:14
+
+Shard the qualifying-subset evaluation across worker processes (results
+are identical at any job count; 0 means all CPU cores)::
+
+    repro-preview --domain music --tables 5 --tight 2 --sweep-n 6:14 --jobs 4
 """
 
 from __future__ import annotations
@@ -89,6 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for sharded subset evaluation (default 1 = "
+            "serial, 0 = all CPU cores); results are identical at any "
+            "job count"
+        ),
+    )
+    parser.add_argument(
         "--tuples", type=int, default=4, help="sampled tuples shown per table"
     )
     parser.add_argument(
@@ -120,7 +137,7 @@ def _run_sweep(engine: PreviewEngine, args: argparse.Namespace, d, mode) -> int:
         for n in budgets
         if n >= args.tables
     ]
-    results = engine.sweep(queries, skip_infeasible=True)
+    results = engine.sweep(queries, skip_infeasible=True, jobs=args.jobs)
     for query, result in zip(queries, results):
         if result is None:
             print(f"{query.describe()}: infeasible")
@@ -165,6 +182,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             d=d,
             mode=mode,
             algorithm=args.algorithm,
+            jobs=args.jobs,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

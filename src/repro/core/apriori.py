@@ -21,7 +21,11 @@ from __future__ import annotations
 from typing import Optional
 
 from ..scoring.preview_score import ScoringContext
-from .candidates import best_preview_for_keys, eligible_key_types
+from .candidates import (
+    best_preview_for_keys,
+    eligible_key_types,
+    sharded_discover,
+)
 from .constraints import DistanceConstraint, SizeConstraint, validate_constraints
 from .preview import DiscoveryResult
 from .registry import register_discovery_algorithm
@@ -33,12 +37,19 @@ def apriori_discover(
     size: SizeConstraint,
     distance: DistanceConstraint,
     clique_backend: str = "apriori",
+    jobs: int = 1,
+    executor=None,
 ) -> Optional[DiscoveryResult]:
     """Find an optimal tight/diverse preview; None when none exists.
 
     ``clique_backend`` selects the k-clique enumerator: ``"apriori"``
     (the paper's level-wise join) or ``"bron-kerbosch"`` (the classical
-    alternative used by the ablation bench).
+    alternative used by the ablation bench).  ``jobs`` shards the
+    per-subset ComputePreview step across worker processes (0 = all CPU
+    cores); results are bit-identical to the serial run — see
+    :mod:`repro.parallel`.  A live :class:`~repro.parallel.ShardedExecutor`
+    can be passed as ``executor`` to reuse its pool across calls
+    (``jobs`` is then ignored; the caller keeps ownership).
     """
     key_pool = eligible_key_types(context)
     validate_constraints(size, distance, key_pool)
@@ -50,6 +61,15 @@ def apriori_discover(
     subsets = k_cliques(key_pool, adjacent, size.k, backend=clique_backend)
     if not subsets:
         return None
+    if (jobs != 1 or executor is not None) and len(subsets) > 1:
+        return sharded_discover(
+            context,
+            size,
+            subsets,
+            jobs,
+            f"apriori[{clique_backend}]",
+            executor=executor,
+        )
 
     best_score = float("-inf")
     best_preview = None

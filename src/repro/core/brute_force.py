@@ -19,7 +19,11 @@ from itertools import combinations
 from typing import Optional
 
 from ..scoring.preview_score import ScoringContext
-from .candidates import best_preview_for_keys, eligible_key_types
+from .candidates import (
+    best_preview_for_keys,
+    eligible_key_types,
+    sharded_discover,
+)
 from .constraints import DistanceConstraint, SizeConstraint, validate_constraints
 from .preview import DiscoveryResult
 from .registry import register_discovery_algorithm
@@ -35,6 +39,8 @@ def brute_force_discover(
     context: ScoringContext,
     size: SizeConstraint,
     distance: Optional[DistanceConstraint] = None,
+    jobs: int = 1,
+    executor=None,
 ) -> Optional[DiscoveryResult]:
     """Find an optimal (concise/tight/diverse) preview by enumeration.
 
@@ -42,17 +48,36 @@ def brute_force_discover(
     nobody satisfies).  Ties in score are broken by enumeration order,
     which is deterministic given the schema construction order — the paper
     likewise returns one optimal preview and notes the extension to all.
+    ``jobs`` shards the per-subset allocation across worker processes
+    (0 = all CPU cores) with bit-identical results — see
+    :mod:`repro.parallel`; the pairwise distance check stays in the
+    parent, which holds the distance oracle.  A live
+    :class:`~repro.parallel.ShardedExecutor` can be passed as
+    ``executor`` to reuse its pool across calls (``jobs`` is then
+    ignored; the caller keeps ownership).
     """
     key_pool = eligible_key_types(context)
     validate_constraints(size, distance, key_pool)
     oracle = context.schema.distance_oracle() if distance is not None else None
 
+    qualifying = (
+        keys
+        for keys in combinations(key_pool, size.k)
+        if distance is None or distance.keys_ok(oracle, keys)
+    )
+    if jobs != 1 or executor is not None:
+        qualifying = list(qualifying)
+        if len(qualifying) > 1:
+            return sharded_discover(
+                context, size, qualifying, jobs, "brute-force", executor=executor
+            )
+        # 0 or 1 qualifying subsets: fall through to the serial scan over
+        # the already-filtered list rather than re-enumerating.
+
     best_score = float("-inf")
     best_preview = None
     examined = 0
-    for keys in combinations(key_pool, size.k):
-        if distance is not None and not distance.keys_ok(oracle, keys):
-            continue
+    for keys in qualifying:
         examined += 1
         allocation = best_preview_for_keys(context, keys, size)
         if allocation is None:

@@ -31,7 +31,7 @@ from ..model.ids import TypeId
 from ..scoring.candidate_pool import CandidatePool
 from ..scoring.preview_score import ScoringContext
 from .constraints import SizeConstraint
-from .preview import Preview, PreviewTable
+from .preview import DiscoveryResult, Preview, PreviewTable
 
 
 def eligible_key_types(context: ScoringContext) -> List[TypeId]:
@@ -164,6 +164,74 @@ def best_preview_for_keys(
     if profile is None:
         return None
     return profile.preview_at(pool, extra_cap), profile.score_at(extra_cap)
+
+
+def sharded_best_preview(
+    context: ScoringContext,
+    size: SizeConstraint,
+    subsets: Sequence[Tuple[TypeId, ...]],
+    jobs: int,
+    executor: Optional[object] = None,
+) -> Optional[Tuple[Preview, float]]:
+    """Best allocation over ``subsets``, sharded across worker processes.
+
+    The parallel counterpart of the serial "ComputePreview each subset,
+    keep the max" loops of Alg. 1/3: workers score shards against a
+    picklable snapshot of the candidate pool (see :mod:`repro.parallel`)
+    and only the winning subset — lowest index among equal scores,
+    matching the serial strict-``>`` tie-break — is materialized here
+    against the real pool.  Returns None when every subset is
+    infeasible (duplicate keys, or a key with no candidate attribute).
+
+    An already-running :class:`~repro.parallel.ShardedExecutor` can be
+    passed as ``executor`` to amortize its worker pool across many calls
+    (the engine does this for sweep batches); the caller keeps ownership
+    and ``jobs`` is ignored.  Otherwise a pool is created per call.
+    """
+    # Imported lazily: jobs=1 callers never touch the parallel subsystem.
+    from ..parallel import ScoringSnapshot, ShardedExecutor
+
+    snapshot = ScoringSnapshot.from_pool(context.candidate_pool())
+    extra_cap = size.n - size.k
+    if executor is not None:
+        best = executor.best_allocation(snapshot, subsets, extra_cap)
+    else:
+        with ShardedExecutor(jobs) as owned:
+            best = owned.best_allocation(snapshot, subsets, extra_cap)
+    if best is None:
+        return None
+    return best_preview_for_keys(context, subsets[best[1]], size)
+
+
+def sharded_discover(
+    context: ScoringContext,
+    size: SizeConstraint,
+    subsets: Sequence[Tuple[TypeId, ...]],
+    jobs: int,
+    algorithm: str,
+    executor: Optional[object] = None,
+) -> Optional[DiscoveryResult]:
+    """:class:`DiscoveryResult` assembled from a sharded evaluation.
+
+    Shared tail of the ``jobs != 1`` paths of ``apriori_discover`` and
+    ``brute_force_discover``: every subset counts as examined (the
+    serial loops score each qualifying subset), and the result carries
+    the caller's ``algorithm`` label.
+    """
+    allocation = sharded_best_preview(
+        context, size, subsets, jobs, executor=executor
+    )
+    if allocation is None:
+        return None
+    preview, score = allocation
+    return DiscoveryResult(
+        preview=preview,
+        score=score,
+        algorithm=algorithm,
+        key_scorer=context.key_scorer_name,
+        nonkey_scorer=context.nonkey_scorer_name,
+        candidates_examined=len(subsets),
+    )
 
 
 def upper_bound_for_keys(

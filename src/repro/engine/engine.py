@@ -31,9 +31,11 @@ engine with full memoization (though without the Apriori sweep fast path).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import logging
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from ..core.apriori import _registered_apriori as _builtin_apriori_runner
+from ..core.brute_force import brute_force_discover as _builtin_brute_force
 from ..core.candidates import (
     AllocationProfile,
     build_allocation_profile,
@@ -52,6 +54,11 @@ from ..graph.cliques import k_cliques
 from ..model.ids import TypeId
 from ..scoring.preview_score import ScoringContext
 from .query import PreviewQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps jobs=1 lean
+    from ..parallel import ShardedExecutor
+
+logger = logging.getLogger(__name__)
 
 _NEG_INF = float("-inf")
 
@@ -131,7 +138,13 @@ class PreviewEngine:
         self._invalidations += 1
 
     def cache_info(self) -> Dict[str, int]:
-        """Hit/miss/size counters (for tests, benches and ops)."""
+        """Hit/miss/size counters (for tests, benches and ops).
+
+        Synchronizes with the tracked source first, so a mutation is
+        reflected here (fresh generation, dropped caches) even before
+        the next query observes it.
+        """
+        self._sync_generation()
         return {
             "hits": self._hits,
             "misses": self._misses,
@@ -157,13 +170,23 @@ class PreviewEngine:
         d: Optional[int] = None,
         mode: str = "tight",
         algorithm: str = "auto",
+        jobs: int = 1,
     ) -> DiscoveryResult:
         """Answer one preview query (same contract as ``discover_preview``)."""
-        return self.run(PreviewQuery(k=k, n=n, d=d, mode=mode, algorithm=algorithm))
+        return self.run(
+            PreviewQuery(k=k, n=n, d=d, mode=mode, algorithm=algorithm), jobs=jobs
+        )
 
-    def run(self, query: PreviewQuery) -> DiscoveryResult:
-        """Answer a :class:`PreviewQuery`; raises when infeasible."""
-        result = self._run_cached(query)
+    def run(self, query: PreviewQuery, jobs: int = 1) -> DiscoveryResult:
+        """Answer a :class:`PreviewQuery`; raises when infeasible.
+
+        ``jobs`` shards the qualifying-subset evaluation of the built-in
+        Apriori and brute-force algorithms across worker processes
+        (0 = all CPU cores) with bit-identical results; other algorithms
+        run serially regardless.  Memoization ignores ``jobs``, since it
+        never changes the answer.
+        """
+        result = self._run_cached(query, jobs=jobs)
         if result is None:
             raise InfeasiblePreviewError(
                 f"no preview satisfies the constraints ({query.describe()})"
@@ -174,6 +197,7 @@ class PreviewEngine:
         self,
         queries: Iterable[PreviewQuery],
         skip_infeasible: bool = False,
+        jobs: int = 1,
     ) -> List[Optional[DiscoveryResult]]:
         """Answer a batch of queries, sharing state across points.
 
@@ -181,18 +205,54 @@ class PreviewEngine:
         to running each query alone (which in turn matches per-call
         ``discover_preview``).  With ``skip_infeasible`` the result list
         holds None at infeasible points instead of raising.
+
+        With ``jobs > 1`` the heavy lifting is sharded across one worker
+        pool shared by the whole batch: every sweep group's per-subset
+        allocation profiles are built in parallel shards up front, and
+        the independent sweep points are then answered — in input order,
+        for deterministic tie-breaks — from those shared artifacts (plus
+        sharded brute-force evaluation for points that dispatch there).
+        An empty batch returns an empty list explicitly rather than
+        silently reporting a vacuous sweep.
         """
         queries = list(queries)
-        self._prewarm_profiles(queries)
+        if not queries:
+            logger.warning(
+                "PreviewEngine.sweep received zero queries; returning [] "
+                "(was a grid axis empty or a generator already exhausted?)"
+            )
+            return []
+        if jobs != 1:
+            from ..parallel import ShardedExecutor
+
+            # One pool amortized over the whole batch: profile prewarm
+            # and every sharded point reuse the same workers.
+            with ShardedExecutor(jobs) as executor:
+                return self._sweep_batch(queries, skip_infeasible, executor)
+        return self._sweep_batch(queries, skip_infeasible, None)
+
+    def _sweep_batch(
+        self,
+        queries: List[PreviewQuery],
+        skip_infeasible: bool,
+        executor: Optional["ShardedExecutor"],
+    ) -> List[Optional[DiscoveryResult]]:
+        self._prewarm_profiles(queries, executor=executor)
         results: List[Optional[DiscoveryResult]] = []
         for query in queries:
-            if skip_infeasible:
-                results.append(self._run_cached(query))
-            else:
-                results.append(self.run(query))
+            result = self._run_cached(query, executor=executor)
+            if result is None and not skip_infeasible:
+                raise InfeasiblePreviewError(
+                    f"no preview satisfies the constraints ({query.describe()})"
+                )
+            results.append(result)
         return results
 
-    def _prewarm_profiles(self, queries: List[PreviewQuery]) -> None:
+    def _prewarm_profiles(
+        self,
+        queries: List[PreviewQuery],
+        executor: Optional["ShardedExecutor"] = None,
+    ) -> None:
         """Build each sweep group's profiles at its widest budget upfront.
 
         Without this, an ascending-``n`` sweep would build capped
@@ -221,25 +281,42 @@ class PreviewEngine:
             if known is None or size.n > known[0].n:
                 widest[group_key] = (size, distance)
         for size, distance in widest.values():
-            self._apriori_profiles(self.context, size, distance)
+            self._apriori_profiles(self.context, size, distance, executor=executor)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def _run_cached(self, query: PreviewQuery) -> Optional[DiscoveryResult]:
+    def _run_cached(
+        self,
+        query: PreviewQuery,
+        jobs: int = 1,
+        executor: Optional["ShardedExecutor"] = None,
+    ) -> Optional[DiscoveryResult]:
         self._sync_generation()
+        # Validate the constraints before touching any counter or memo
+        # state: a malformed query (k=0, negative d, bogus mode) raises
+        # here and leaves hit/miss statistics exactly as they were.
+        query.size()
+        query.distance()
         spec: AlgorithmSpec = resolve_algorithm(query.algorithm, query.shape())
         cache_key = (spec, query.cache_key())
         if cache_key in self._results:
             self._hits += 1
             return self._results[cache_key]
+        # Count the miss only once the execution produced an answer
+        # (feasible or memoized-infeasible); an algorithm that raises
+        # mid-flight must not skew the statistics of retried queries.
+        result = self._execute(spec, query, jobs=jobs, executor=executor)
         self._misses += 1
-        result = self._execute(spec, query)
         self._results[cache_key] = result
         return result
 
     def _execute(
-        self, spec: AlgorithmSpec, query: PreviewQuery
+        self,
+        spec: AlgorithmSpec,
+        query: PreviewQuery,
+        jobs: int = 1,
+        executor: Optional["ShardedExecutor"] = None,
     ) -> Optional[DiscoveryResult]:
         context = self.context
         size = query.size()
@@ -247,7 +324,26 @@ class PreviewEngine:
         # The sweep fast path stands in for the *built-in* Apriori only;
         # a shadowing re-registration under the same name must win.
         if distance is not None and spec.runner is _builtin_apriori_runner:
+            if executor is not None:
+                return self._execute_apriori(
+                    context, size, distance, executor=executor
+                )
+            if jobs != 1:
+                from ..parallel import ShardedExecutor
+
+                # Lazily started: a pool only spins up if the profiles
+                # are not already cached for this group.
+                with ShardedExecutor(jobs) as owned:
+                    return self._execute_apriori(
+                        context, size, distance, executor=owned
+                    )
             return self._execute_apriori(context, size, distance)
+        if (jobs != 1 or executor is not None) and (
+            spec.runner is _builtin_brute_force
+        ):
+            return _builtin_brute_force(
+                context, size, distance, jobs=jobs, executor=executor
+            )
         return spec.run(context, size, distance)
 
     # -- Apriori sweep fast path ---------------------------------------
@@ -256,6 +352,7 @@ class PreviewEngine:
         context: ScoringContext,
         size: SizeConstraint,
         distance: DistanceConstraint,
+        executor: Optional["ShardedExecutor"] = None,
     ) -> List[Optional[AllocationProfile]]:
         """Clique subsets + allocation profiles for one ``(k, d, mode)``.
 
@@ -265,6 +362,12 @@ class PreviewEngine:
         one-shot query then costs no more than the legacy allocation —
         and rebuilt uncapped the first time a larger budget arrives,
         after which every ``n`` along a sweep reuses them.
+
+        With a parallel ``executor``, the per-subset merges run in
+        worker shards against a picklable pool snapshot and the profile
+        payloads are re-hydrated here; the same allocation code runs on
+        the same flat score arrays, so the profiles are bit-identical to
+        a serial build (see :mod:`repro.parallel`).
         """
         group_key = (size.k, distance.d, distance.mode.value)
         subsets = self._subsets.get(group_key)
@@ -288,9 +391,28 @@ class PreviewEngine:
             return profiles
         pool = context.candidate_pool()
         cap = extra_cap if profiles is None else None  # 2nd build: exhaustive
-        profiles = [
-            build_allocation_profile(pool, keys, cap=cap) for keys in subsets
-        ]
+        if executor is not None and executor.jobs > 1 and len(subsets) > 1:
+            from ..parallel import ScoringSnapshot
+
+            snapshot = ScoringSnapshot.from_pool(pool)
+            profiles = [
+                None
+                if payload is None
+                else AllocationProfile(
+                    keys,
+                    tuple(pool.index[key] for key in keys),
+                    payload[0],
+                    payload[1],
+                    payload[2],
+                )
+                for keys, payload in zip(
+                    subsets, executor.build_profiles(snapshot, subsets, cap)
+                )
+            ]
+        else:
+            profiles = [
+                build_allocation_profile(pool, keys, cap=cap) for keys in subsets
+            ]
         self._profiles[group_key] = profiles
         return profiles
 
@@ -299,6 +421,7 @@ class PreviewEngine:
         context: ScoringContext,
         size: SizeConstraint,
         distance: DistanceConstraint,
+        executor: Optional["ShardedExecutor"] = None,
     ) -> Optional[DiscoveryResult]:
         """Answer one tight/diverse point from the shared profiles.
 
@@ -306,7 +429,7 @@ class PreviewEngine:
         bookkeeping) as :func:`repro.core.apriori.apriori_discover`.
         """
         validate_constraints(size, distance, eligible_key_types(context))
-        profiles = self._apriori_profiles(context, size, distance)
+        profiles = self._apriori_profiles(context, size, distance, executor=executor)
         if not profiles:
             return None
         extra_cap = size.n - size.k

@@ -17,6 +17,7 @@ from typing import Iterable, Iterator, Optional, Tuple
 
 from ..core.constraints import DistanceConstraint, SizeConstraint
 from ..core.registry import constraint_shape
+from ..exceptions import DiscoveryError
 
 
 @dataclass(frozen=True)
@@ -73,15 +74,31 @@ class PreviewQuery:
 
         ``distances`` entries are ``(d, mode)`` pairs or None for concise
         points — the shape of the paper's Fig. 8/9 efficiency sweeps.
+
+        Axes are materialized and validated eagerly: an empty axis —
+        typically an exhausted generator or an empty ``range`` — would
+        silently produce a zero-point sweep that benches then report as
+        vacuous success, so it raises :class:`DiscoveryError` instead.
         """
         ks = tuple(ks)
         ns = tuple(ns)
         distances = tuple(distances)
-        for spec in distances:
-            for k in ks:
-                for n in ns:
-                    if spec is None:
-                        yield cls(k=k, n=n, algorithm=algorithm)
-                    else:
-                        d, mode = spec
-                        yield cls(k=k, n=n, d=d, mode=mode, algorithm=algorithm)
+        for axis, name in ((ks, "ks"), (ns, "ns"), (distances, "distances")):
+            if not axis:
+                raise DiscoveryError(
+                    f"grid axis {name!r} is empty — a sweep over zero points "
+                    f"is almost certainly a bug (exhausted generator or "
+                    f"empty range?)"
+                )
+
+        def points() -> Iterator["PreviewQuery"]:
+            for spec in distances:
+                for k in ks:
+                    for n in ns:
+                        if spec is None:
+                            yield cls(k=k, n=n, algorithm=algorithm)
+                        else:
+                            d, mode = spec
+                            yield cls(k=k, n=n, d=d, mode=mode, algorithm=algorithm)
+
+        return points()

@@ -1,0 +1,204 @@
+"""Process-pool executor for sharded key-subset evaluation.
+
+:class:`ShardedExecutor` chunks a qualifying-subset list into contiguous
+shards, ships each shard (plus one :class:`ScoringSnapshot`) to a worker
+process, and reduces the per-shard answers with the exact serial
+tie-break order.  Two shard operations cover both call sites:
+
+* :meth:`ShardedExecutor.best_allocation` — score every subset at one
+  attribute budget, return the global best ``(score, subset_index)``;
+  used by ``apriori_discover``/``brute_force_discover``.
+* :meth:`ShardedExecutor.build_profiles` — build the full allocation
+  profile payload (pick sequence + cumulative scores) per subset; used
+  by the engine's sweep prewarm so every budget along a sweep reads the
+  sharded result.
+
+``jobs=1`` (and degenerate shard counts) run the shard functions inline —
+:mod:`multiprocessing` is imported lazily and only on a genuinely
+parallel call, so serial users never pay for (or depend on) it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.candidates import build_allocation_profile
+from ..exceptions import DiscoveryError
+from ..model.ids import TypeId
+from .snapshot import ScoringSnapshot
+
+#: (picks, cum, cap) — the picklable payload of one AllocationProfile,
+#: or None for an infeasible subset (some key with an empty Γτ).
+ProfilePayload = Optional[Tuple[List[Tuple[int, int]], List[float], Optional[int]]]
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalize a user-facing ``jobs`` value (0 = all CPU cores)."""
+    if jobs < 0:
+        raise DiscoveryError(f"jobs must be non-negative, got {jobs}")
+    if jobs == 0:
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return os.cpu_count() or 1
+    return jobs
+
+
+def _score_shard(payload) -> Optional[Tuple[float, int]]:
+    """Best ``(score, global_subset_index)`` within one shard, or None.
+
+    Iterates in subset order with a strict ``>`` comparison, so the
+    shard-local winner is the lowest-index subset among equal scores —
+    the same rule the serial discovery loops apply.
+    """
+    snapshot, start, subsets, extra_cap = payload
+    best_score = float("-inf")
+    best_index = -1
+    for offset, keys in enumerate(subsets):
+        if len(set(keys)) != len(keys):
+            # Mirrors best_preview_for_keys: duplicate keys cannot form a
+            # preview, and scoring one here would double-count its type.
+            continue
+        profile = build_allocation_profile(snapshot, keys, cap=extra_cap)
+        if profile is None:
+            continue
+        score = profile.score_at(extra_cap)
+        if score > best_score:
+            best_score = score
+            best_index = start + offset
+    if best_index < 0:
+        return None
+    return best_score, best_index
+
+
+def _profile_shard(payload) -> List[ProfilePayload]:
+    """Allocation-profile payloads for one shard, positionally aligned."""
+    snapshot, _start, subsets, cap = payload
+    results: List[ProfilePayload] = []
+    for keys in subsets:
+        profile = build_allocation_profile(snapshot, keys, cap=cap)
+        if profile is None:
+            results.append(None)
+        else:
+            results.append((profile.picks, profile.cum, profile.cap))
+    return results
+
+
+class ShardedExecutor:
+    """Shards subset evaluation across a reusable process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes (0 = all CPU cores).  With ``jobs=1`` every
+        operation runs inline in the calling process.
+
+    The pool is created lazily on the first parallel call and reused
+    until :meth:`close` (the executor is a context manager), so a sweep
+    amortizes worker startup across all of its groups and points.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Terminate the worker pool (no-op for serial executors)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def _get_pool(self):
+        if self._pool is None:
+            # Imported here, not at module top: jobs=1 must stay a pure
+            # serial fallback with no multiprocessing dependency.
+            import multiprocessing
+
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            self._pool = multiprocessing.get_context(method).Pool(
+                processes=self.jobs
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+    def _payloads(
+        self,
+        snapshot: ScoringSnapshot,
+        subsets: Sequence[Tuple[TypeId, ...]],
+        cap: Optional[int],
+    ) -> List[Tuple]:
+        """Contiguous shards tagged with their global start index."""
+        shards = min(self.jobs, len(subsets))
+        base, remainder = divmod(len(subsets), shards)
+        payloads = []
+        start = 0
+        for shard in range(shards):
+            size = base + (1 if shard < remainder else 0)
+            payloads.append((snapshot, start, list(subsets[start:start + size]), cap))
+            start += size
+        return payloads
+
+    def _map(self, fn, payloads: List[Tuple]) -> List:
+        if self.jobs == 1 or len(payloads) == 1:
+            return [fn(payload) for payload in payloads]
+        return self._get_pool().map(fn, payloads)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def best_allocation(
+        self,
+        snapshot: ScoringSnapshot,
+        subsets: Sequence[Tuple[TypeId, ...]],
+        extra_cap: int,
+    ) -> Optional[Tuple[float, int]]:
+        """Globally best ``(score, subset_index)`` at one budget.
+
+        The reduction keeps the first strict maximum over shards in
+        index order, so the winner is the lowest-index subset among
+        equal scores — bit-identical to the serial loops.
+        """
+        if not subsets:
+            return None
+        best: Optional[Tuple[float, int]] = None
+        for shard_best in self._map(
+            _score_shard, self._payloads(snapshot, subsets, extra_cap)
+        ):
+            if shard_best is None:
+                continue
+            if best is None or shard_best[0] > best[0]:
+                best = shard_best
+        return best
+
+    def build_profiles(
+        self,
+        snapshot: ScoringSnapshot,
+        subsets: Sequence[Tuple[TypeId, ...]],
+        cap: Optional[int],
+    ) -> List[ProfilePayload]:
+        """Per-subset allocation-profile payloads, positionally aligned."""
+        if not subsets:
+            return []
+        results: List[ProfilePayload] = []
+        for shard in self._map(
+            _profile_shard, self._payloads(snapshot, subsets, cap)
+        ):
+            results.extend(shard)
+        return results

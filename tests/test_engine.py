@@ -1,5 +1,7 @@
 """Tests for the algorithm registry and the PreviewEngine."""
 
+import logging
+
 import pytest
 
 from repro.core import (
@@ -17,7 +19,11 @@ from repro.core import (
     unregister_discovery_algorithm,
 )
 from repro.engine import PreviewEngine, PreviewQuery
-from repro.exceptions import DiscoveryError, InfeasiblePreviewError
+from repro.exceptions import (
+    DiscoveryError,
+    InfeasiblePreviewError,
+    InvalidConstraintError,
+)
 from repro.ext import IncrementalEntityGraph
 from repro.model import RelationshipTypeId
 
@@ -140,6 +146,26 @@ class TestPreviewQuery:
         assert len(grid) == 8
         assert grid[0] == PreviewQuery(k=1, n=3)
         assert grid[-1] == PreviewQuery(k=2, n=4, d=2, mode="tight")
+
+    def test_grid_rejects_empty_axes(self):
+        """An empty axis yields a vacuous sweep — fail loudly instead."""
+        with pytest.raises(DiscoveryError, match="grid axis 'ks'"):
+            PreviewQuery.grid(ks=(), ns=(4,))
+        with pytest.raises(DiscoveryError, match="grid axis 'ns'"):
+            PreviewQuery.grid(ks=(2,), ns=())
+        with pytest.raises(DiscoveryError, match="grid axis 'distances'"):
+            PreviewQuery.grid(ks=(2,), ns=(4,), distances=())
+
+    def test_grid_rejects_exhausted_generator(self):
+        ns = (n for n in (4, 5))
+        list(PreviewQuery.grid(ks=(2,), ns=ns))  # drains the generator
+        with pytest.raises(DiscoveryError, match="grid axis 'ns'"):
+            PreviewQuery.grid(ks=(2,), ns=ns)
+
+    def test_grid_validates_eagerly(self):
+        """The error must fire at grid() time, not at first iteration."""
+        with pytest.raises(DiscoveryError):
+            PreviewQuery.grid(ks=(), ns=(4,))  # no list() needed
 
 
 class TestPreviewEngine:
@@ -343,3 +369,99 @@ class TestEngineCacheInvalidation:
         info = engine.cache_info()
         assert info["generation"] == live.generation
         assert info["profile_groups"] == 1  # rebuilt for the new generation
+
+    def test_cache_info_syncs_generation_before_reporting(self, live):
+        """Regression: cache_info() must not report a stale generation.
+
+        It used to read ``_cache_generation`` without syncing, so between
+        a tracked-source mutation and the next query it reported the old
+        generation alongside pre-invalidation cache sizes.
+        """
+        engine = live.engine()
+        engine.query(k=1, n=2)
+        engine.query(k=2, n=4, d=2, mode="tight")
+        live.add_entity("film-new", ["FILM"])
+        info = engine.cache_info()  # no query ran since the mutation
+        assert info["generation"] == live.generation
+        assert info["results"] == 0  # invalidated, not the stale sizes
+        assert info["profile_groups"] == 0
+        assert info["invalidations"] == 1
+
+    def test_sweep_fast_path_under_interleaved_mutation(self, live):
+        """Sweep answers after a mutation must match fresh discovery.
+
+        Interleaves mutations between sweep batches; every post-mutation
+        result must equal a from-scratch ``apriori_discover`` on the
+        current generation (guards the ``_prewarm_profiles`` →
+        ``_sync_generation`` ordering: profiles prewarmed before the
+        generation check would serve the previous graph's scores).
+        """
+        engine = live.engine()
+        grid = [PreviewQuery(k=2, n=n, d=2, mode="tight") for n in (3, 4, 5)]
+        for batch in range(3):
+            results = engine.sweep(grid, skip_infeasible=True)
+            context = live.context()
+            for query, result in zip(grid, results):
+                fresh = apriori_discover(
+                    context,
+                    SizeConstraint(k=query.k, n=query.n),
+                    DistanceConstraint.tight(query.d),
+                )
+                assert result == fresh, (batch, query)
+            # Mutate between batches: new entities and a relationship
+            # spree that reshuffles the coverage scores.
+            live.add_entity(f"film-extra{batch}", ["FILM"])
+            live.add_relationship(
+                "director0", f"film-extra{batch}", DIRECTED
+            )
+            live.add_relationship("actor0", f"film-extra{batch}", ACTED)
+
+
+class TestEngineErrorHygiene:
+    """Raised queries must not skew cache statistics or leave memo junk."""
+
+    @pytest.mark.parametrize(
+        "bad_query",
+        [
+            PreviewQuery(k=0, n=5),  # k < 1
+            PreviewQuery(k=3, n=2),  # n < k
+            PreviewQuery(k=2, n=6, d=-1),  # negative distance
+            PreviewQuery(k=2, n=6, d=1, mode="cosy"),  # unknown mode
+        ],
+    )
+    def test_malformed_query_leaves_counters_unchanged(
+        self, fig1_graph, bad_query
+    ):
+        engine = PreviewEngine(fig1_graph)
+        engine.query(k=2, n=6)  # one real miss on the books
+        before = engine.cache_info()
+        for _ in range(2):  # retrying must not accumulate skew either
+            with pytest.raises(DiscoveryError):
+                engine.run(bad_query)
+        assert engine.cache_info() == before
+        assert before["hits"] == 0 and before["misses"] == 1
+
+    def test_execution_failure_leaves_counters_and_memo_unchanged(
+        self, fig1_graph
+    ):
+        """A query that fails inside the algorithm (k exceeding the
+        candidate pool) must leave hit/miss counts and the result cache
+        exactly as they were, so retries do not skew cache_info."""
+        engine = PreviewEngine(fig1_graph)
+        engine.query(k=2, n=6)
+        before = engine.cache_info()
+        for _ in range(2):
+            with pytest.raises(InvalidConstraintError):
+                engine.query(k=50, n=60)
+        after = engine.cache_info()
+        assert after == before
+        assert after["results"] == 1  # only the good query is memoized
+
+    def test_sweep_of_zero_queries_returns_empty_and_logs(
+        self, fig1_graph, caplog
+    ):
+        engine = PreviewEngine(fig1_graph)
+        with caplog.at_level(logging.WARNING, logger="repro.engine.engine"):
+            assert engine.sweep([]) == []
+        assert any("zero queries" in record.message for record in caplog.records)
+        assert engine.cache_info()["misses"] == 0

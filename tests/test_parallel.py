@@ -1,0 +1,338 @@
+"""Parallel sharded execution: parallel == serial, bit for bit.
+
+The CI matrix runs this module a second time with ``REPRO_TEST_JOBS=2``
+exported, so every parallel==serial property here is exercised both
+inline (degenerate single-shard paths) and across a real process pool.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core import apriori_discover, brute_force_discover
+from repro.core.candidates import (
+    best_preview_for_keys,
+    build_allocation_profile,
+    sharded_best_preview,
+)
+from repro.core.constraints import DistanceConstraint, SizeConstraint
+from repro.datasets import random_schema_graph
+from repro.engine import PreviewEngine, PreviewQuery
+from repro.exceptions import DiscoveryError, InfeasiblePreviewError
+from repro.parallel import ScoringSnapshot, ShardedExecutor, resolve_jobs
+from repro.scoring import ScoringContext
+
+#: Worker count used by the equivalence tests (the CI "jobs=2 leg" sets
+#: REPRO_TEST_JOBS=2 explicitly; any value >= 2 exercises real shards).
+JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+
+SMALL = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+schema_params = st.tuples(
+    st.integers(min_value=3, max_value=8),  # types
+    st.integers(min_value=3, max_value=12),  # rel types
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def context_for(params) -> ScoringContext:
+    num_types, num_rels, seed = params
+    schema = random_schema_graph(
+        num_types, max(num_rels, num_types - 1), seed=seed
+    )
+    return ScoringContext(schema)
+
+
+class TestResolveJobs:
+    def test_passthrough_and_zero(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1  # 0 = all usable cores
+
+    def test_negative_rejected(self):
+        with pytest.raises(DiscoveryError, match="non-negative"):
+            resolve_jobs(-1)
+
+
+class TestShardedExecutor:
+    def test_tie_break_is_lowest_subset_index(self):
+        """Equal scores must resolve to the first subset, as serially."""
+        snapshot = ScoringSnapshot(
+            index={"A": 0, "B": 1, "C": 2},
+            weighted=((5.0, 1.0), (5.0, 1.0), (5.0, 1.0)),
+        )
+        subsets = [("A",), ("B",), ("C",)]
+        with ShardedExecutor(JOBS) as executor:
+            best = executor.best_allocation(snapshot, subsets, extra_cap=1)
+        assert best == (6.0, 0)
+
+    def test_all_infeasible_returns_none(self):
+        snapshot = ScoringSnapshot(index={"A": 0, "B": 1}, weighted=((), ()))
+        with ShardedExecutor(JOBS) as executor:
+            assert executor.best_allocation(snapshot, [("A",), ("B",)], 1) is None
+            assert executor.best_allocation(snapshot, [], 1) is None
+
+    def test_profiles_match_serial_build(self, fig1_context):
+        pool = fig1_context.candidate_pool()
+        snapshot = ScoringSnapshot.from_pool(pool)
+        subsets = [(t,) for t in pool.eligible] + [pool.eligible[:2]]
+        with ShardedExecutor(JOBS) as executor:
+            payloads = executor.build_profiles(snapshot, subsets, cap=2)
+        assert len(payloads) == len(subsets)
+        for keys, payload in zip(subsets, payloads):
+            serial = build_allocation_profile(pool, keys, cap=2)
+            assert payload is not None and serial is not None
+            picks, cum, cap = payload
+            assert picks == serial.picks
+            assert cum == serial.cum  # float-exact, not approximate
+            assert cap == serial.cap
+
+    def test_duplicate_key_subsets_are_infeasible_not_winning(
+        self, fig1_context
+    ):
+        """A duplicate-keys subset must lose like it does serially.
+
+        ``best_preview_for_keys`` rejects duplicates, so a worker must
+        not let one win the reduction on its double-counted score (the
+        shipped callers never produce duplicates, but the helper's
+        contract should hold for any subset list).
+        """
+        pool = fig1_context.candidate_pool()
+        strongest = max(
+            pool.eligible, key=lambda t: pool.top_m_score(t, 2)
+        )
+        other = next(t for t in pool.eligible if t != strongest)
+        size = SizeConstraint(k=2, n=4)
+        result = sharded_best_preview(
+            fig1_context,
+            size,
+            [(strongest, strongest), (strongest, other)],
+            jobs=JOBS,
+        )
+        assert result == best_preview_for_keys(
+            fig1_context, (strongest, other), size
+        )
+
+    def test_executor_reuse_across_calls(self, fig1_context):
+        """One executor may serve many calls (the engine sweep pattern)."""
+        size = SizeConstraint(k=2, n=5)
+        with ShardedExecutor(JOBS) as executor:
+            for distance in (None, DistanceConstraint.tight(1)):
+                serial = brute_force_discover(fig1_context, size, distance)
+                shared = brute_force_discover(
+                    fig1_context, size, distance, executor=executor
+                )
+                assert serial == shared
+            serial = apriori_discover(
+                fig1_context, size, DistanceConstraint.tight(2)
+            )
+            shared = apriori_discover(
+                fig1_context,
+                size,
+                DistanceConstraint.tight(2),
+                executor=executor,
+            )
+            assert serial == shared
+
+    def test_snapshot_ships_no_graph_objects(self, fig1_context):
+        snapshot = ScoringSnapshot.from_pool(fig1_context.candidate_pool())
+        assert all(isinstance(key, str) for key in snapshot.index)
+        for row in snapshot.weighted:
+            assert all(isinstance(score, float) for score in row)
+        assert snapshot.attrs is snapshot.weighted
+
+
+class TestAlgorithmEquivalence:
+    @SMALL
+    @given(schema_params, st.integers(2, 3), st.integers(1, 3), st.booleans())
+    def test_apriori_parallel_matches_serial(self, params, k, d, tight):
+        context = context_for(params)
+        k = min(k, params[0])
+        size = SizeConstraint(k=k, n=k + 3)
+        constraint = (
+            DistanceConstraint.tight(d) if tight else DistanceConstraint.diverse(d)
+        )
+        serial = apriori_discover(context, size, constraint)
+        parallel = apriori_discover(context, size, constraint, jobs=JOBS)
+        assert serial == parallel  # dataclass equality: bit-identical floats
+
+    @SMALL
+    @given(schema_params, st.integers(2, 3), st.integers(0, 3))
+    def test_brute_force_parallel_matches_serial(self, params, k, d):
+        context = context_for(params)
+        k = min(k, params[0])
+        size = SizeConstraint(k=k, n=k + 3)
+        constraint = DistanceConstraint.tight(d) if d else None
+        serial = brute_force_discover(context, size, constraint)
+        parallel = brute_force_discover(context, size, constraint, jobs=JOBS)
+        assert serial == parallel
+
+    @SMALL
+    @given(schema_params, st.integers(2, 3), st.integers(1, 3))
+    def test_engine_parallel_matches_serial_all_four_algorithms(
+        self, params, k, d
+    ):
+        """Every registered algorithm answers identically at any jobs."""
+        context = context_for(params)
+        k = min(k, params[0])
+        cases = [
+            PreviewQuery(k=k, n=k + 3, algorithm="brute-force"),
+            PreviewQuery(k=k, n=k + 3, algorithm="dynamic-programming"),
+            PreviewQuery(k=k, n=k + 3, algorithm="branch-and-bound"),
+            PreviewQuery(k=k, n=k + 3, d=d, mode="tight", algorithm="apriori"),
+            PreviewQuery(k=k, n=k + 3, d=d, mode="diverse", algorithm="apriori"),
+            PreviewQuery(k=k, n=k + 3, d=d, mode="tight", algorithm="brute-force"),
+            PreviewQuery(
+                k=k, n=k + 3, d=d, mode="diverse", algorithm="branch-and-bound"
+            ),
+        ]
+        serial_engine = PreviewEngine(context)
+        parallel_engine = PreviewEngine(context)
+        for query in cases:
+            try:
+                serial = serial_engine.run(query)
+            except InfeasiblePreviewError:
+                serial = None
+            try:
+                parallel = parallel_engine.run(query, jobs=JOBS)
+            except InfeasiblePreviewError:
+                parallel = None
+            assert serial == parallel, query
+
+    @SMALL
+    @given(schema_params, st.integers(1, 3))
+    def test_engine_sweep_parallel_matches_serial(self, params, d):
+        context = context_for(params)
+        k = min(3, params[0])
+        grid = list(
+            PreviewQuery.grid(
+                ks=(2, k),
+                ns=(k + 1, k + 3, k + 5),
+                distances=[None, (d, "tight"), (d, "diverse")],
+            )
+        )
+        serial = PreviewEngine(context).sweep(grid, skip_infeasible=True)
+        parallel = PreviewEngine(context).sweep(
+            grid, skip_infeasible=True, jobs=JOBS
+        )
+        assert serial == parallel
+
+    def test_engine_sweep_brute_force_points_share_the_batch_pool(
+        self, fig1_context
+    ):
+        """Forced brute-force sweep points ride the batch executor."""
+        grid = [
+            PreviewQuery(k=2, n=n, algorithm="brute-force") for n in (4, 5, 6)
+        ] + [
+            PreviewQuery(k=2, n=n, d=1, mode="tight", algorithm="brute-force")
+            for n in (4, 5)
+        ]
+        serial = PreviewEngine(fig1_context).sweep(grid, skip_infeasible=True)
+        parallel = PreviewEngine(fig1_context).sweep(
+            grid, skip_infeasible=True, jobs=JOBS
+        )
+        assert serial == parallel
+        assert any(result is not None for result in serial)
+
+
+class TestSerialFallback:
+    def test_jobs_1_never_imports_multiprocessing(self):
+        """The jobs=1 hot path must not even import multiprocessing."""
+        code = (
+            "import sys\n"
+            "from repro.core import apriori_discover, brute_force_discover\n"
+            "from repro.core.constraints import DistanceConstraint, "
+            "SizeConstraint\n"
+            "from repro.datasets import random_schema_graph\n"
+            "from repro.engine import PreviewEngine, PreviewQuery\n"
+            "from repro.scoring import ScoringContext\n"
+            "context = ScoringContext(random_schema_graph(5, 8, seed=1))\n"
+            "size = SizeConstraint(k=2, n=4)\n"
+            "apriori_discover(context, size, DistanceConstraint.tight(2))\n"
+            "brute_force_discover(context, size)\n"
+            "engine = PreviewEngine(context)\n"
+            "engine.sweep([PreviewQuery(k=2, n=n, d=2) for n in (3, 4)],\n"
+            "             skip_infeasible=True)\n"
+            "assert 'multiprocessing' not in sys.modules, \\\n"
+            "    'multiprocessing imported on the serial path'\n"
+        )
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ, PYTHONPATH=str(src))
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+    def test_jobs_zero_resolves_to_cpu_count(self, fig1_context):
+        """jobs=0 must work end to end, whatever the machine size."""
+        serial = apriori_discover(
+            fig1_context, SizeConstraint(k=2, n=4), DistanceConstraint.tight(1)
+        )
+        auto = apriori_discover(
+            fig1_context,
+            SizeConstraint(k=2, n=4),
+            DistanceConstraint.tight(1),
+            jobs=0,
+        )
+        assert serial == auto
+
+
+class TestCliJobs:
+    def test_sweep_output_identical_at_any_jobs(self, capsys):
+        args = [
+            "--domain",
+            "architecture",
+            "-k",
+            "2",
+            "-n",
+            "5",
+            "--tight",
+            "2",
+            "--sweep-n",
+            "4:6",
+        ]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--jobs", str(JOBS)]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_single_query_with_jobs(self, capsys):
+        code = main(
+            [
+                "--domain",
+                "basketball",
+                "-k",
+                "2",
+                "-n",
+                "4",
+                "--tight",
+                "2",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "apriori" in capsys.readouterr().out
+
+    def test_negative_jobs_errors_cleanly(self, capsys):
+        code = main(
+            [
+                "--domain",
+                "basketball",
+                "-k",
+                "2",
+                "-n",
+                "4",
+                "--tight",
+                "2",
+                "--jobs",
+                "-2",
+            ]
+        )
+        assert code == 1
+        assert "non-negative" in capsys.readouterr().err
