@@ -56,6 +56,8 @@ from .model import (
     Direction,
     EntityGraph,
     EntityGraphBuilder,
+    MutationDelta,
+    MutationLog,
     NonKeyAttribute,
     RelationshipTypeId,
     SchemaGraph,
@@ -63,7 +65,7 @@ from .model import (
 from .scoring import ScoringContext
 from .store import TripleStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DISCOVERY_ALGORITHMS",
@@ -77,6 +79,8 @@ __all__ = [
     "InfeasiblePreviewError",
     "InvalidConstraintError",
     "ModelError",
+    "MutationDelta",
+    "MutationLog",
     "NonKeyAttribute",
     "Preview",
     "PreviewEngine",

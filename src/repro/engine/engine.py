@@ -19,10 +19,19 @@ sub-plans out of per-query execution:
   each profile's cumulative-score array — byte-identical results to a
   fresh :func:`apriori_discover` call at a fraction of the cost;
 * **Invalidation** — when constructed over a generation-tracked source
-  (:class:`~repro.ext.incremental.IncrementalEntityGraph`), every cache
-  is dropped the moment the source's ``generation`` counter moves,
-  making the paper's "previews cannot be incrementally updated" explicit
-  while keeping the *scores* incrementally maintained.
+  (:class:`~repro.ext.incremental.IncrementalEntityGraph`), the caches
+  are synchronized with the source's ``generation`` counter.  A source
+  that additionally exposes the mutation changelog (``dirty_since``)
+  gets *type-scoped* invalidation: every memo entry is keyed with the
+  key-type dependency set of its :class:`DiscoveryResult`, and a
+  non-structural mutation evicts only the entries whose dependency set
+  intersects the dirty types — untouched sweep points survive the
+  mutation, qualifying-subset enumerations are kept outright (they
+  depend only on schema structure), and allocation profiles are patched
+  per subset instead of rebuilt wholesale.  Structural mutations (new
+  entity/relationship types), unknown baselines and non-delta-capable
+  scorer pairs (random walk, entropy) fall back to the full cache drop,
+  so the fast path is never trusted beyond what the scorers guarantee.
 
 Algorithms resolve through :data:`~repro.core.registry.DISCOVERY_ALGORITHMS`;
 a third-party algorithm registered there is immediately servable by the
@@ -32,10 +41,14 @@ engine with full memoization (though without the Apriori sweep fast path).
 from __future__ import annotations
 
 import logging
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..core.apriori import _registered_apriori as _builtin_apriori_runner
+from ..core.branch_bound import branch_and_bound_discover as _builtin_branch_bound
 from ..core.brute_force import brute_force_discover as _builtin_brute_force
+from ..core.dynamic_prog import (
+    _registered_dynamic_programming as _builtin_dynamic_programming,
+)
 from ..core.candidates import (
     AllocationProfile,
     build_allocation_profile,
@@ -52,6 +65,7 @@ from ..core.registry import AlgorithmSpec, resolve_algorithm
 from ..exceptions import InfeasiblePreviewError
 from ..graph.cliques import k_cliques
 from ..model.ids import TypeId
+from ..scoring.base import scorer_pair_supports_delta
 from ..scoring.preview_score import ScoringContext
 from .query import PreviewQuery
 
@@ -61,6 +75,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, keeps jobs=1 lean
 logger = logging.getLogger(__name__)
 
 _NEG_INF = float("-inf")
+
+#: Built-in runners that provably read only *eligible* types' scores
+#: (their enumerations all start from ``eligible_key_types``); their
+#: results therefore depend on the eligible set, not every type.
+_ELIGIBLE_ONLY_RUNNERS = (
+    _builtin_apriori_runner,
+    _builtin_branch_bound,
+    _builtin_brute_force,
+    _builtin_dynamic_programming,
+)
+
+
 
 
 class PreviewEngine:
@@ -102,16 +128,49 @@ class PreviewEngine:
         #: re-registered algorithm never serves a stale predecessor's
         #: results from a live engine.
         self._results: Dict[Tuple, Optional[DiscoveryResult]] = {}
+        #: Memo key -> the key types its result depends on; a mutation
+        #: dirtying a disjoint set provably cannot change the result, so
+        #: the entry survives type-scoped invalidation.
+        self._result_deps: Dict[Tuple, FrozenSet[TypeId]] = {}
         #: (k, d, mode) -> qualifying key subsets, in the Apriori clique
         #: enumeration order (so score ties resolve identically).
         self._subsets: Dict[Tuple, List[Tuple[TypeId, ...]]] = {}
+        #: (k, d, mode) -> union of the group's subset types (the
+        #: dependency set of every result answered from that group).
+        self._group_deps: Dict[Tuple, FrozenSet[TypeId]] = {}
         #: (k, d, mode) -> per-subset allocation profiles, positionally
         #: aligned with the subsets.
         self._profiles: Dict[Tuple, List[Optional[AllocationProfile]]] = {}
+        #: (k, d, mode) -> subset positions whose profiles must be
+        #: rebuilt against the patched pool before the next read (lazily
+        #: applied by :meth:`_apriori_profiles`).
+        self._stale_profiles: Dict[Tuple, set] = {}
+        #: Cached worker-pool snapshot + the types dirtied since it was
+        #: projected (refreshed in O(delta) on the next parallel build).
+        self._snapshot = None
+        self._snapshot_dirty: set = set()
+        #: Whether this engine's scorer pair allows type-scoped eviction
+        #: (both scorers must declare ``supports_delta``); resolved once
+        #: from the scorer registries, False for unknown names.
+        self._delta_capable = scorer_pair_supports_delta(key_scorer, nonkey_scorer)
+        #: Dependency sets are only worth recording when a type-scoped
+        #: eviction can ever consult them: a changelog-bearing source
+        #: plus a delta-capable scorer pair.
+        self._track_deps = bool(
+            self._delta_capable
+            and self._source is not None
+            and callable(getattr(self._source, "dirty_since", None))
+        )
+        #: Interned "eligible set" dependency value (one per pool
+        #: lifetime — eligibility only changes structurally, and a
+        #: structural change fully invalidates).
+        self._eligible_deps: Optional[FrozenSet[TypeId]] = None
         self._cache_generation = self.generation
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
+        self._retained = 0
+        self._evicted = 0
 
     # ------------------------------------------------------------------
     # State
@@ -131,10 +190,17 @@ class PreviewEngine:
         return self._static_context
 
     def invalidate(self) -> None:
-        """Drop every cached result and sweep artifact."""
+        """Drop every cached result and sweep artifact (full reset)."""
+        self._evicted += len(self._results)
         self._results.clear()
+        self._result_deps.clear()
         self._subsets.clear()
+        self._group_deps.clear()
         self._profiles.clear()
+        self._stale_profiles.clear()
+        self._snapshot = None
+        self._snapshot_dirty.clear()
+        self._eligible_deps = None
         self._invalidations += 1
 
     def cache_info(self) -> Dict[str, int]:
@@ -142,7 +208,13 @@ class PreviewEngine:
 
         Synchronizes with the tracked source first, so a mutation is
         reflected here (fresh generation, dropped caches) even before
-        the next query observes it.
+        the next query observes it.  ``retained``/``evicted`` count memo
+        entries that survived vs. were dropped across all invalidation
+        events so far: a full invalidation evicts everything, while a
+        type-scoped one (mutation-changelog sources, delta-capable
+        scorers) evicts only entries whose dependency set intersects the
+        dirty types.  ``invalidations`` counts the *full* cache drops
+        only.
         """
         self._sync_generation()
         return {
@@ -152,13 +224,72 @@ class PreviewEngine:
             "profile_groups": len(self._profiles),
             "generation": self._cache_generation,
             "invalidations": self._invalidations,
+            "retained": self._retained,
+            "evicted": self._evicted,
         }
 
     def _sync_generation(self) -> None:
         generation = self.generation
-        if generation != self._cache_generation:
+        if generation == self._cache_generation:
+            return
+        delta = self._dirty_delta(self._cache_generation)
+        if delta is None:
             self.invalidate()
-            self._cache_generation = generation
+        elif not delta.empty:
+            self._evict_dirty(frozenset(delta.key_types))
+        # An empty delta (pure no-op mutations) retains every cache.
+        self._cache_generation = generation
+
+    def _dirty_delta(self, since: int):
+        """The non-structural dirty delta since ``since``, else None.
+
+        None — meaning "fall back to a full invalidation" — whenever the
+        source does not expose the mutation changelog, the scorer pair
+        is not delta-capable, the baseline predates the changelog's
+        retention window, or the delta contains a structural mutation.
+        """
+        if self._source is None or not self._delta_capable:
+            return None
+        dirty_since = getattr(self._source, "dirty_since", None)
+        if dirty_since is None:
+            return None
+        delta = dirty_since(since)
+        if delta.structural or delta.full:
+            return None
+        return delta
+
+    def _evict_dirty(self, dirty: FrozenSet[TypeId]) -> None:
+        """Type-scoped invalidation for one non-structural dirty set.
+
+        Memo entries whose dependency set intersects ``dirty`` are
+        dropped; the rest — results over provably untouched scores —
+        survive.  Qualifying-subset enumerations depend only on schema
+        structure and are kept outright; allocation profiles containing
+        a dirty type are marked for lazy per-subset rebuild; the worker
+        snapshot accumulates the dirty set for its next O(delta)
+        refresh.
+        """
+        stale_keys = [
+            key for key, deps in self._result_deps.items() if deps & dirty
+        ]
+        for key in stale_keys:
+            del self._results[key]
+            del self._result_deps[key]
+        self._evicted += len(stale_keys)
+        self._retained += len(self._results)
+        for group_key in self._profiles:
+            subsets = self._subsets.get(group_key)
+            if subsets is None:
+                continue
+            stale = {
+                position
+                for position, keys in enumerate(subsets)
+                if not dirty.isdisjoint(keys)
+            }
+            if stale:
+                self._stale_profiles.setdefault(group_key, set()).update(stale)
+        if self._snapshot is not None:
+            self._snapshot_dirty.update(dirty)
 
     # ------------------------------------------------------------------
     # Queries
@@ -309,7 +440,38 @@ class PreviewEngine:
         result = self._execute(spec, query, jobs=jobs, executor=executor)
         self._misses += 1
         self._results[cache_key] = result
+        if self._track_deps:
+            self._result_deps[cache_key] = self._dependencies(spec, query)
         return result
+
+    def _dependencies(self, spec: AlgorithmSpec, query: PreviewQuery) -> FrozenSet[TypeId]:
+        """The key types whose scores this query's result depends on.
+
+        Called after :meth:`_execute`, so fast-path groups are already
+        enumerated.  Three tiers, each sound under *non-structural*
+        mutations (type universe, ``Γτ`` membership, distances and
+        eligibility all fixed):
+
+        * Apriori fast path — the union of the group's qualifying
+          subsets: the result is the argmax over those subsets'
+          allocation profiles, and each profile reads only its own
+          types' scores;
+        * other built-ins — the eligible set: their enumerations draw
+          keys from ``eligible_key_types`` and read nothing else;
+        * third-party algorithms — every type (they may read anything).
+        """
+        distance = query.distance()
+        if distance is not None and spec.runner is _builtin_apriori_runner:
+            group_key = (query.size().k, distance.d, distance.mode.value)
+            deps = self._group_deps.get(group_key)
+            if deps is not None:
+                return deps
+        pool = self.context.candidate_pool()
+        if spec.runner in _ELIGIBLE_ONLY_RUNNERS:
+            if self._eligible_deps is None:
+                self._eligible_deps = frozenset(pool.eligible)
+            return self._eligible_deps
+        return frozenset(pool.types)
 
     def _execute(
         self,
@@ -382,9 +544,12 @@ class PreviewEngine:
                 k_cliques(key_pool, adjacent, size.k, backend="apriori")
             )
             self._subsets[group_key] = subsets
+            self._group_deps[group_key] = frozenset(
+                type_name for keys in subsets for type_name in keys
+            )
 
         extra_cap = size.n - size.k
-        profiles = self._profiles.get(group_key)
+        profiles = self._patch_stale_profiles(context, group_key, subsets)
         if profiles is not None and all(
             profile is None or profile.covers(extra_cap) for profile in profiles
         ):
@@ -392,9 +557,7 @@ class PreviewEngine:
         pool = context.candidate_pool()
         cap = extra_cap if profiles is None else None  # 2nd build: exhaustive
         if executor is not None and executor.jobs > 1 and len(subsets) > 1:
-            from ..parallel import ScoringSnapshot
-
-            snapshot = ScoringSnapshot.from_pool(pool)
+            snapshot = self._current_snapshot(pool)
             profiles = [
                 None
                 if payload is None
@@ -415,6 +578,53 @@ class PreviewEngine:
             ]
         self._profiles[group_key] = profiles
         return profiles
+
+    def _patch_stale_profiles(
+        self,
+        context: ScoringContext,
+        group_key: Tuple,
+        subsets: List[Tuple[TypeId, ...]],
+    ) -> Optional[List[Optional[AllocationProfile]]]:
+        """Apply pending per-subset patches and return the group's profiles.
+
+        After a type-scoped invalidation, only the profiles whose key
+        subset contains a dirty type were marked stale: rebuild exactly
+        those against the patched pool (uncapped, so they cover every
+        budget) and keep the rest — their types' weighted rows are
+        bit-identical, so their pick sequences still are too.  A profile
+        that was None stays None: infeasibility (a key with an empty
+        ``Γτ``) is a structural property, and structural mutations never
+        reach this path.
+        """
+        profiles = self._profiles.get(group_key)
+        stale = self._stale_profiles.pop(group_key, None)
+        if profiles is None or not stale:
+            return profiles
+        pool = context.candidate_pool()
+        for position in stale:
+            if profiles[position] is not None:
+                profiles[position] = build_allocation_profile(
+                    pool, subsets[position], cap=None
+                )
+        return profiles
+
+    def _current_snapshot(self, pool):
+        """The worker-pool snapshot for ``pool``, refreshed in O(delta).
+
+        Built once, then patched with the types dirtied since the last
+        parallel build (see :meth:`~repro.parallel.ScoringSnapshot.refresh`)
+        — untouched rows keep their already-projected float tuples, so a
+        long-lived executor stays warm across mutations.  Full
+        invalidations reset it.
+        """
+        from ..parallel import ScoringSnapshot
+
+        if self._snapshot is None:
+            self._snapshot = ScoringSnapshot.from_pool(pool)
+        elif self._snapshot_dirty:
+            self._snapshot = self._snapshot.refresh(pool, self._snapshot_dirty)
+        self._snapshot_dirty.clear()
+        return self._snapshot
 
     def _execute_apriori(
         self,

@@ -19,6 +19,25 @@ measures (the aggregate-count ones, where incrementality is exact):
   memoized results and sweep artifacts are dropped automatically the
   moment a mutation bumps the generation.
 
+Since the delta-pipeline refactor the invalidation signal is no longer
+just a counter: the underlying graph's
+:class:`~repro.model.mutation_log.MutationLog` records *which* key types
+and relationship types every mutation dirtied, and whether the schema
+graph itself changed (a *structural* mutation).  Downstream caches
+consume that changelog through :meth:`IncrementalEntityGraph.dirty_since`
+at three granularities:
+
+* **none** — an empty delta (pure no-op mutations): every cache is kept;
+* **type-scoped** — a non-structural delta with delta-capable scorers
+  (coverage): cached :class:`ScoringContext`\\ s are *patched* in
+  O(delta) (only dirty types re-scored, candidate-pool rows shared for
+  the rest), and the engine evicts only the memo entries whose key-type
+  dependency set intersects the dirty types;
+* **full** — structural mutations, non-delta scorers (random walk,
+  entropy) or a baseline older than the changelog window: the affected
+  context is rebuilt and the engine drops everything, exactly the seed
+  behavior.
+
 Random-walk and entropy measures are recomputed lazily on demand: both
 are global fixed-point/histogram computations without an exact O(1)
 delta form; the wrapper tracks dirtiness so the recomputation happens at
@@ -33,6 +52,7 @@ from ..core.preview import DiscoveryResult
 from ..engine import PreviewEngine
 from ..model.entity_graph import EntityGraph
 from ..model.ids import EntityId, RelationshipTypeId, TypeId
+from ..model.mutation_log import MutationDelta, MutationLog
 from ..model.schema_graph import SchemaGraph
 from ..scoring.preview_score import ScoringContext
 
@@ -51,11 +71,14 @@ class IncrementalEntityGraph:
             r: self._graph.relationship_count(r)
             for r in self._graph.relationship_types()
         }
-        #: Bumped on every mutation; cached previews must match it.
-        self.generation = 0
-        #: (key_scorer, nonkey_scorer) -> context, valid for one generation.
+        #: (key_scorer, nonkey_scorer) -> context; patched or rebuilt
+        #: per combo when the generation moves (see :meth:`context`).
         self._cached_contexts: Dict[tuple, ScoringContext] = {}
-        self._cached_context_generation = -1
+        self._cached_context_generation = self.generation
+        #: Last generation folded into _key_coverage/_nonkey_coverage/
+        #: _schema (tracks direct-graph mutations; see
+        #: :meth:`_reconcile_aggregates`).
+        self._aggregate_generation = self.generation
         self._engines: Dict[tuple, PreviewEngine] = {}
 
     # ------------------------------------------------------------------
@@ -67,14 +90,51 @@ class IncrementalEntityGraph:
 
     @property
     def schema(self) -> SchemaGraph:
+        """The maintained schema graph, reconciled with the changelog.
+
+        Reconciling first means mutations applied to the wrapped graph
+        directly are folded in (or, for structural ones, the schema is
+        re-derived) before anything is built from it.
+        """
+        self._reconcile_aggregates()
         return self._schema
+
+    @property
+    def generation(self) -> int:
+        """The underlying graph's mutation counter (cache epoch).
+
+        Delegates to the graph's :class:`MutationLog`, so mutations
+        applied to the wrapped :class:`EntityGraph` directly are
+        observed too: the next refresh reconciles the maintained
+        coverage aggregates (and, for structural changes, re-derives
+        the schema graph) from the changelog before any context is
+        patched or rebuilt.
+        """
+        return self._graph.mutation_log.generation
+
+    @property
+    def mutation_log(self) -> MutationLog:
+        """The underlying graph's per-generation mutation changelog."""
+        return self._graph.mutation_log
+
+    def dirty_since(self, generation: int) -> MutationDelta:
+        """Everything dirtied after ``generation`` (one folded delta).
+
+        The engine-facing changelog read: a
+        :class:`~repro.engine.PreviewEngine` bound to this graph calls
+        it to decide between type-scoped eviction (non-structural
+        deltas) and a full cache drop.
+        """
+        return self._graph.mutation_log.dirty_since(generation)
 
     def key_coverage(self, type_name: TypeId) -> int:
         """``Scov(τ)`` maintained incrementally (0 for unknown types)."""
+        self._reconcile_aggregates()
         return self._key_coverage.get(type_name, 0)
 
     def nonkey_coverage(self, rel_type: RelationshipTypeId) -> int:
         """``Sτcov(γ)`` maintained incrementally (0 for unknown types)."""
+        self._reconcile_aggregates()
         return self._nonkey_coverage.get(rel_type, 0)
 
     # ------------------------------------------------------------------
@@ -85,24 +145,29 @@ class IncrementalEntityGraph:
         known_before = (
             self._graph.types_of(entity) if self._graph.has_entity(entity) else frozenset()
         )
+        synced = self._aggregate_generation == self.generation
         self._graph.add_entity(entity, type_list)
-        for type_name in set(type_list) - set(known_before):
+        # Deterministic list order (not set order), matching the order
+        # the graph itself registers first-seen types in.
+        for type_name in dict.fromkeys(type_list):
+            if type_name in known_before:
+                continue
             self._key_coverage[type_name] = self._key_coverage.get(type_name, 0) + 1
             self._schema.add_entity_type(
                 type_name, entity_count=self._key_coverage[type_name]
             )
-        self._touch()
+        if synced:  # this call folded its own delta: advance the cursor
+            self._aggregate_generation = self.generation
 
     def add_relationship(
         self, source: EntityId, target: EntityId, rel_type: RelationshipTypeId
     ) -> None:
+        synced = self._aggregate_generation == self.generation
         self._graph.add_relationship(source, target, rel_type)
         self._nonkey_coverage[rel_type] = self._nonkey_coverage.get(rel_type, 0) + 1
         self._schema.add_relationship_type(rel_type, edge_count=1)
-        self._touch()
-
-    def _touch(self) -> None:
-        self.generation += 1
+        if synced:  # this call folded its own delta: advance the cursor
+            self._aggregate_generation = self.generation
 
     # ------------------------------------------------------------------
     # Discovery (never incremental — by design, matching the paper)
@@ -112,13 +177,17 @@ class IncrementalEntityGraph:
     ) -> ScoringContext:
         """A scoring context current with the latest generation.
 
-        Coverage contexts read the incrementally maintained aggregates
-        (already folded into the schema graph); random-walk/entropy
-        contexts trigger their lazy global recomputation here.
+        Coverage contexts are *patched* in O(delta) across non-structural
+        mutations (only the changelog's dirty types are re-scored; every
+        other type shares its sorted candidates, weighted scores and
+        prefix tables with the previous generation's context — see
+        :meth:`ScoringContext.patched`).  Random-walk/entropy contexts
+        trigger their lazy global recomputation here, and structural
+        mutations rebuild from scratch; in both fallback cases only the
+        affected (key_scorer, nonkey_scorer) entry is evicted, never the
+        whole combo cache.
         """
-        if self._cached_context_generation != self.generation:
-            self._cached_contexts.clear()
-            self._cached_context_generation = self.generation
+        self._refresh_contexts()
         cache_key = (key_scorer, nonkey_scorer)
         context = self._cached_contexts.get(cache_key)
         if context is None:
@@ -130,6 +199,83 @@ class IncrementalEntityGraph:
             )
             self._cached_contexts[cache_key] = context
         return context
+
+    def _refresh_contexts(self) -> None:
+        """Bring every cached scorer-combo context up to this generation.
+
+        Three granularities, decided by the mutation changelog:
+
+        * empty delta — no scores moved; every cached context is exact
+          already and is kept untouched;
+        * patchable delta — delta-capable combos are patched in
+          O(delta); non-capable ones are dropped *individually* (they
+          rebuild lazily on next request);
+        * structural/overflowed delta — every cached context is stale in
+          ways patching cannot express; drop them all.
+        """
+        generation = self.generation
+        if self._cached_context_generation == generation:
+            return
+        # Aggregates first: a context can only be patched (or rebuilt)
+        # against reconciled schema counts.
+        self._reconcile_aggregates()
+        delta = self._graph.mutation_log.dirty_since(
+            self._cached_context_generation
+        )
+        if delta.empty:
+            pass
+        elif delta.patchable:
+            self._cached_contexts = {
+                cache_key: context.patched(delta.key_types)
+                for cache_key, context in self._cached_contexts.items()
+                if context.supports_delta
+            }
+        else:
+            self._cached_contexts.clear()
+        self._cached_context_generation = generation
+
+    def _reconcile_aggregates(self) -> None:
+        """Reconcile maintained counts with the graph's changelog.
+
+        The cheap half of a refresh (no context patching): idempotent
+        for mutations that came through this wrapper — they folded
+        their counts in eagerly — it exists to absorb mutations applied
+        to the wrapped graph *directly*, which the changelog observes
+        but the eager per-call maintenance never saw.  Structural (or
+        window-overflowed) deltas re-derive schema and counts from the
+        graph in O(schema).
+        """
+        generation = self.generation
+        if self._aggregate_generation == generation:
+            return
+        delta = self._graph.mutation_log.dirty_since(self._aggregate_generation)
+        if delta.patchable:
+            for type_name in delta.key_types:
+                count = self._graph.type_count(type_name)
+                if self._key_coverage.get(type_name) != count:
+                    self._key_coverage[type_name] = count
+                    self._schema.add_entity_type(type_name, entity_count=count)
+            for rel_type in delta.rel_types:
+                count = self._graph.relationship_count(rel_type)
+                if self._nonkey_coverage.get(rel_type) != count:
+                    self._nonkey_coverage[rel_type] = count
+                    # Non-structural deltas only ever *increment* known
+                    # relationship types: apply the difference.
+                    self._schema.add_relationship_type(
+                        rel_type,
+                        edge_count=count
+                        - self._schema.relationship_count(rel_type),
+                    )
+        elif not delta.empty:
+            self._schema = SchemaGraph.from_entity_graph(self._graph)
+            self._key_coverage = {
+                t: self._graph.type_count(t) for t in self._graph.entity_types()
+            }
+            self._nonkey_coverage = {
+                r: self._graph.relationship_count(r)
+                for r in self._graph.relationship_types()
+            }
+        self._aggregate_generation = generation
 
     def engine(
         self, key_scorer: str = "coverage", nonkey_scorer: str = "coverage"
@@ -162,11 +308,19 @@ class IncrementalEntityGraph:
         nonkey_scorer = kwargs.pop("nonkey_scorer", "coverage")
         return self.engine(key_scorer, nonkey_scorer).query(k=k, n=n, **kwargs)
 
-    def verify_against_rescan(self) -> bool:
+    def verify_against_rescan(self, check_pools: bool = True) -> bool:
         """Cross-check incremental aggregates against a full rescan.
 
         Test/debug helper: returns True when every maintained count
-        matches a freshly derived schema graph.
+        matches a freshly derived schema graph, *and* (with
+        ``check_pools``, the default) when every cached scorer-combo
+        context's :class:`~repro.scoring.CandidatePool` — the
+        delta-patched flat arrays every discovery algorithm reads — is
+        exactly equal to one built from scratch over the rescanned
+        schema: same type order, key scores, sorted candidate lists
+        with raw/weighted scores, prefix-sum tables and eligible set.
+        Floats are compared exactly, not approximately: the delta path
+        promises bit-identical state.
         """
         fresh = SchemaGraph.from_entity_graph(self._graph)
         for type_name in fresh.entity_types():
@@ -182,5 +336,22 @@ class IncrementalEntityGraph:
             if self._schema.relationship_count(rel_type) != fresh.relationship_count(
                 rel_type
             ):
+                return False
+        if not check_pools:
+            return True
+        self._refresh_contexts()
+        combos = list(self._cached_contexts) or [("coverage", "coverage")]
+        for key_scorer, nonkey_scorer in combos:
+            maintained = self.context(key_scorer, nonkey_scorer).candidate_pool()
+            rebuilt = ScoringContext(
+                fresh,
+                self._graph,
+                key_scorer=key_scorer,
+                nonkey_scorer=nonkey_scorer,
+            ).candidate_pool()
+            # Frozen-dataclass equality covers every field (type order,
+            # key scores, sorted candidates, weighted scores, prefix
+            # tables, index, eligible) — including any added later.
+            if maintained != rebuilt:
                 return False
         return True

@@ -10,6 +10,7 @@ from .ids import (
     parse_qualified_name,
     qualified_name,
 )
+from .mutation_log import FULL_DELTA, MutationDelta, MutationLog
 from .schema_graph import SchemaGraph
 from .triples import (
     TYPE_PREDICATE,
@@ -24,6 +25,9 @@ __all__ = [
     "EntityGraph",
     "EntityGraphBuilder",
     "EntityId",
+    "FULL_DELTA",
+    "MutationDelta",
+    "MutationLog",
     "NonKeyAttribute",
     "RelationshipTypeId",
     "SchemaGraph",

@@ -28,6 +28,7 @@ from ..exceptions import (
 from ..graph import DirectedMultigraph
 from .attributes import Direction, NonKeyAttribute
 from .ids import EntityId, RelationshipTypeId, TypeId
+from .mutation_log import MutationLog
 
 
 class EntityGraph:
@@ -37,6 +38,12 @@ class EntityGraph:
     :class:`~repro.model.builder.EntityGraphBuilder` or loaded from a
     :class:`~repro.store.triple_store.TripleStore`, but the mutation API
     here is public and validating.
+
+    Every successful mutation is recorded in :attr:`mutation_log` — the
+    per-generation changelog of dirty key types and relationship types
+    that the incremental scoring pipeline (contexts, candidate pools,
+    engine memos) consumes to patch itself in O(delta); see
+    :mod:`repro.model.mutation_log`.
     """
 
     def __init__(self, name: str = "entity-graph") -> None:
@@ -48,22 +55,38 @@ class EntityGraph:
         # (entity, rel_type) -> multiset of neighbor entities, per direction.
         self._out: Dict[Tuple[EntityId, RelationshipTypeId], List[EntityId]] = {}
         self._in: Dict[Tuple[EntityId, RelationshipTypeId], List[EntityId]] = {}
+        #: Per-generation changelog of what each mutation dirtied.
+        self.mutation_log = MutationLog()
+
+    @property
+    def generation(self) -> int:
+        """Total successful mutations — the cache-invalidation epoch."""
+        return self.mutation_log.generation
 
     # ------------------------------------------------------------------
     # Entities and types
     # ------------------------------------------------------------------
     def add_entity(self, entity: EntityId, types: Iterable[TypeId]) -> None:
         """Add an entity with one or more types (idempotent, types union)."""
-        type_set = set(types)
-        if not type_set:
+        type_list = list(dict.fromkeys(types))
+        if not type_list:
             raise SchemaViolationError(
                 f"entity {entity!r} must belong to at least one type"
             )
         self._graph.add_node(entity)
         existing = self._types_of.setdefault(entity, set())
-        for type_name in type_set - existing:
+        # First-seen order is the caller's list order (deterministic
+        # across processes, unlike set iteration) — the schema graph,
+        # candidate pool and verification rescans all rely on it.
+        new_types = [t for t in type_list if t not in existing]
+        # A type first seen here adds a schema-graph vertex: structural.
+        structural = any(
+            type_name not in self._entities_by_type for type_name in new_types
+        )
+        for type_name in new_types:
             existing.add(type_name)
             self._entities_by_type.setdefault(type_name, set()).add(entity)
+        self.mutation_log.record(key_types=new_types, structural=structural)
 
     def has_entity(self, entity: EntityId) -> bool:
         return entity in self._types_of
@@ -129,10 +152,21 @@ class EntityGraph:
                 f"target {target!r} lacks type {rel_type.target_type!r} "
                 f"required by relationship type {rel_type}"
             )
+        # A relationship type first seen here adds a schema-graph edge
+        # (and possibly new candidate attributes): structural.
+        structural = rel_type not in self._edge_counts
         self._graph.add_edge(source, target, rel_type)
         self._edge_counts[rel_type] += 1
         self._out.setdefault((source, rel_type), []).append(target)
         self._in.setdefault((target, rel_type), []).append(source)
+        # Instance counts feed the non-key scores of both endpoint types
+        # (γ appears in Γ_src as OUT and in Γ_tgt as IN): they are the
+        # key types this mutation dirties.
+        self.mutation_log.record(
+            key_types=(rel_type.source_type, rel_type.target_type),
+            rel_types=(rel_type,),
+            structural=structural,
+        )
 
     def relationship_types(self) -> List[RelationshipTypeId]:
         """All relationship types with at least one edge, first-seen order."""

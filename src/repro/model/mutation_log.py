@@ -1,0 +1,143 @@
+"""The per-generation mutation changelog of an entity graph.
+
+The paper's discovery pipeline assumes a static graph; the ROADMAP's live
+workloads do not.  Incremental maintenance needs more than a *count* of
+mutations (the seed's ``generation`` integer): every consumer downstream
+— scoring contexts, candidate pools, engine memos, worker snapshots —
+wants to know *which* key types and relationship types a batch of
+mutations touched, so it can patch in O(delta) instead of rebuilding in
+O(graph).
+
+:class:`MutationLog` records one entry per mutation, each tagged with the
+generation it produced, the entity (key) types whose aggregates it
+dirtied, the relationship types it touched, and whether it was
+*structural*:
+
+* **non-structural** — an entity of an already-known type, or a
+  relationship instance of an already-known relationship type.  Schema
+  vertices/edges, candidate-list membership ``Γτ``, type distances and
+  eligibility are all unchanged; only the *scores* of the dirty types
+  move.  This is the delta-patchable case.
+* **structural** — a brand-new entity type or relationship type.  The
+  schema graph itself changes (new vertex/edge), so distance oracles,
+  clique enumerations and candidate lists may all shift: consumers must
+  rebuild from scratch.
+
+:meth:`MutationLog.dirty_since` folds every entry after a baseline
+generation into one :class:`MutationDelta`.  The log retains a bounded
+window (:attr:`MutationLog.max_entries`); a baseline older than the
+window answers with ``full=True``, which consumers treat like a
+structural change (full rebuild) — correct, merely less incremental.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, FrozenSet, Iterable, Tuple
+
+from .ids import RelationshipTypeId, TypeId
+
+#: Default bound on retained entries; beyond it the oldest entries are
+#: compacted into the "before the horizon" answer (``full=True``).
+DEFAULT_MAX_ENTRIES = 4096
+
+
+@dataclass(frozen=True)
+class MutationDelta:
+    """The union of every mutation between two generations.
+
+    ``key_types`` are the entity types whose key/non-key scores may have
+    changed; ``rel_types`` the relationship types whose instance counts
+    moved.  ``structural`` means the schema graph gained a vertex or
+    edge; ``full`` means the baseline predates the log's retention
+    window (or the log never saw it) — both demand a full rebuild.
+    """
+
+    key_types: FrozenSet[TypeId] = frozenset()
+    rel_types: FrozenSet[RelationshipTypeId] = frozenset()
+    structural: bool = False
+    full: bool = False
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing at all was dirtied (pure no-op mutations)."""
+        return not (self.key_types or self.rel_types or self.structural or self.full)
+
+    @property
+    def patchable(self) -> bool:
+        """True when O(delta) patching is sound (no schema change)."""
+        return not (self.structural or self.full)
+
+
+#: The "rebuild everything" answer for unknown/ancient baselines.
+FULL_DELTA = MutationDelta(full=True)
+
+#: One retained log entry: (generation, key_types, rel_types, structural).
+_Entry = Tuple[int, Tuple[TypeId, ...], Tuple[RelationshipTypeId, ...], bool]
+
+
+@dataclass
+class MutationLog:
+    """Append-only changelog, one entry per entity-graph mutation."""
+
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    #: The generation produced by the latest mutation (0 = pristine).
+    generation: int = 0
+    _entries: Deque[_Entry] = field(default_factory=deque)
+    #: Highest generation already compacted away; baselines below it can
+    #: only be answered with :data:`FULL_DELTA`.
+    _horizon: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        key_types: Iterable[TypeId] = (),
+        rel_types: Iterable[RelationshipTypeId] = (),
+        structural: bool = False,
+    ) -> int:
+        """Append one mutation entry; returns the new generation."""
+        self.generation += 1
+        self._entries.append(
+            (self.generation, tuple(key_types), tuple(rel_types), structural)
+        )
+        if len(self._entries) > self.max_entries:
+            oldest = self._entries.popleft()
+            self._horizon = oldest[0]
+        return self.generation
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def dirty_since(self, generation: int) -> MutationDelta:
+        """Fold every entry after ``generation`` into one delta.
+
+        A baseline at the current generation yields an empty delta; one
+        before the retention horizon (or negative, the engine's "never
+        synced" sentinel) yields :data:`FULL_DELTA`.
+        """
+        if generation >= self.generation:
+            return MutationDelta()
+        if generation < self._horizon:
+            return FULL_DELTA
+        key_types = set()
+        rel_types = set()
+        structural = False
+        for entry_generation, entry_keys, entry_rels, entry_structural in reversed(
+            self._entries
+        ):
+            if entry_generation <= generation:
+                break
+            key_types.update(entry_keys)
+            rel_types.update(entry_rels)
+            structural = structural or entry_structural
+        return MutationDelta(
+            key_types=frozenset(key_types),
+            rel_types=frozenset(rel_types),
+            structural=structural,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -18,7 +18,7 @@ paper's tables ("Coverage", "Random Walk", "Entropy").
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Iterable, Mapping, Optional
 
 from ..exceptions import UnknownScorerError
 from ..model.attributes import NonKeyAttribute
@@ -33,6 +33,15 @@ class KeyScorer(abc.ABC):
     #: Registry name; subclasses must override.
     name: str = ""
 
+    #: Whether the measure can be maintained under *non-structural*
+    #: mutations by rescoring only the dirty types: a dirty type's score
+    #: must depend only on that type's own aggregates, and untouched
+    #: types' scores must be bit-identical after the mutation.  Coverage
+    #: qualifies (``Scov(τ)`` reads one count); the random walk does not
+    #: (one edge weight moves every stationary probability), so it keeps
+    #: the default and falls back to a full rebuild transparently.
+    supports_delta: bool = False
+
     @abc.abstractmethod
     def score_all(
         self, schema: SchemaGraph, entity_graph: Optional[EntityGraph] = None
@@ -45,6 +54,25 @@ class KeyScorer(abc.ABC):
         counts.
         """
 
+    def score_types(
+        self,
+        types: Iterable[TypeId],
+        schema: SchemaGraph,
+        entity_graph: Optional[EntityGraph] = None,
+    ) -> Dict[TypeId, float]:
+        """Scores of ``types`` only — the O(delta) re-scoring hook.
+
+        The default projects :meth:`score_all` (correct for any scorer);
+        delta-capable measures override it to touch only the given
+        types.  Only called on types already present in the schema.
+        """
+        wanted = set(types)
+        return {
+            type_name: score
+            for type_name, score in self.score_all(schema, entity_graph).items()
+            if type_name in wanted
+        }
+
 
 class NonKeyScorer(abc.ABC):
     """Scores candidate non-key attributes relative to a key type."""
@@ -53,6 +81,16 @@ class NonKeyScorer(abc.ABC):
 
     #: Whether the measure depends on entity-level data (entropy does).
     requires_entity_graph: bool = False
+
+    #: Whether re-running :meth:`score_candidates` for just the dirty key
+    #: types is sound under non-structural mutations (untouched types'
+    #: candidate scores must be bit-identical).  Coverage qualifies: a
+    #: relationship instance of type γ only moves ``Sτcov(γ)`` for the
+    #: two endpoint types, exactly the dirty set the mutation log
+    #: records.  Entropy keeps the default (full rebuild): it reads
+    #: entity-level adjacency, and re-deriving per-type histograms is a
+    #: rescan, not a delta.
+    supports_delta: bool = False
 
     @abc.abstractmethod
     def score_candidates(
@@ -99,3 +137,24 @@ def make_nonkey_scorer(name: str) -> NonKeyScorer:
         return NONKEY_SCORERS[name]()
     except KeyError:
         raise UnknownScorerError(name, tuple(NONKEY_SCORERS)) from None
+
+
+def _supports_delta(scorer, registry: Mapping[str, Callable]) -> bool:
+    if isinstance(scorer, str):
+        scorer = registry.get(scorer)
+    return bool(getattr(scorer, "supports_delta", False))
+
+
+def scorer_pair_supports_delta(key_scorer, nonkey_scorer) -> bool:
+    """Whether a scorer pairing allows per-type delta maintenance.
+
+    The single source of truth for every delta-pipeline decision (the
+    engine's type-scoped eviction, the incremental wrapper's context
+    patching): both scorers must declare :attr:`supports_delta`.
+    Accepts instances, classes, or registry names; unknown names (and
+    non-class factories) answer False, which degrades to a full
+    rebuild — always sound.
+    """
+    return _supports_delta(key_scorer, KEY_SCORERS) and _supports_delta(
+        nonkey_scorer, NONKEY_SCORERS
+    )

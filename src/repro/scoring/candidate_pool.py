@@ -32,10 +32,14 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Tuple
 
+from ..exceptions import ScoringError
 from ..model.attributes import NonKeyAttribute
 from ..model.ids import TypeId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from .preview_score import ScoringContext
 
 
 @dataclass(frozen=True)
@@ -67,17 +71,11 @@ class CandidatePool:
         prefix: List[Tuple[float, ...]] = []
         for i, type_name in enumerate(type_tuple):
             ranked = sorted_candidates.get(type_name, [])
-            attrs.append(tuple(attr for attr, _score in ranked))
-            scores = tuple(score for _attr, score in ranked)
-            attr_scores.append(scores)
-            key_weight = keys[i]
-            weighted.append(tuple(key_weight * score for score in scores))
-            sums = array("d", [0.0])
-            running = 0.0
-            for score in scores:
-                running += score
-                sums.append(key_weight * running)
-            prefix.append(tuple(sums))
+            row = cls._row(keys[i], ranked)
+            attrs.append(row[0])
+            attr_scores.append(row[1])
+            weighted.append(row[2])
+            prefix.append(row[3])
         return cls(
             types=type_tuple,
             key_scores=tuple(keys),
@@ -87,6 +85,83 @@ class CandidatePool:
             prefix=tuple(prefix),
             index={t: i for i, t in enumerate(type_tuple)},
             eligible=tuple(t for i, t in enumerate(type_tuple) if attrs[i]),
+        )
+
+    @staticmethod
+    def _row(
+        key_weight: float,
+        ranked: Sequence[Tuple[NonKeyAttribute, float]],
+    ) -> Tuple[
+        Tuple[NonKeyAttribute, ...],
+        Tuple[float, ...],
+        Tuple[float, ...],
+        Tuple[float, ...],
+    ]:
+        """One type's flat arrays — shared by :meth:`build` and
+        :meth:`patched` so a patched row is bit-identical to a fresh one
+        (same accumulation order, same float operations)."""
+        attrs = tuple(attr for attr, _score in ranked)
+        scores = tuple(score for _attr, score in ranked)
+        weighted = tuple(key_weight * score for score in scores)
+        sums = array("d", [0.0])
+        running = 0.0
+        for score in scores:
+            running += score
+            sums.append(key_weight * running)
+        return attrs, scores, weighted, tuple(sums)
+
+    def patched(
+        self, dirty_types: Iterable[TypeId], context: "ScoringContext"
+    ) -> "CandidatePool":
+        """A new pool with only the dirty types' rows rebuilt.
+
+        The delta-maintenance counterpart of :meth:`build`: every
+        untouched type *shares* its tuples (``attrs``, ``attr_scores``,
+        ``weighted``, ``prefix``) with this pool — O(delta) row rebuilds
+        plus an O(K) outer-tuple copy, instead of O(total candidates).
+        ``context`` supplies the post-mutation scores (it is the patched
+        :class:`~repro.scoring.preview_score.ScoringContext` this pool
+        will belong to).
+
+        Only valid for *non-structural* deltas: the type universe and
+        every ``Γτ`` membership must be unchanged, so ``index``,
+        ``types`` and (by construction) ``eligible`` carry over.  A
+        dirty type outside this pool's universe raises
+        :class:`~repro.exceptions.ScoringError` — callers should have
+        detected the structural mutation and rebuilt from scratch.
+        """
+        dirty = set(dirty_types)
+        unknown = dirty.difference(self.index)
+        if unknown:
+            raise ScoringError(
+                f"cannot patch candidate pool: types {sorted(map(str, unknown))} "
+                f"are not in the pool (structural mutation requires a rebuild)"
+            )
+        key_scores = list(self.key_scores)
+        attrs = list(self.attrs)
+        attr_scores = list(self.attr_scores)
+        weighted = list(self.weighted)
+        prefix = list(self.prefix)
+        for type_name in dirty:
+            i = self.index[type_name]
+            key_scores[i] = context.key_score(type_name)
+            row = self._row(key_scores[i], context.sorted_candidates(type_name))
+            if bool(row[0]) != bool(self.attrs[i]):
+                raise ScoringError(
+                    f"cannot patch candidate pool: eligibility of "
+                    f"{type_name!r} changed (structural mutation requires "
+                    f"a rebuild)"
+                )
+            attrs[i], attr_scores[i], weighted[i], prefix[i] = row
+        return CandidatePool(
+            types=self.types,
+            key_scores=tuple(key_scores),
+            attrs=tuple(attrs),
+            attr_scores=tuple(attr_scores),
+            weighted=tuple(weighted),
+            prefix=tuple(prefix),
+            index=self.index,
+            eligible=self.eligible,
         )
 
     # ------------------------------------------------------------------

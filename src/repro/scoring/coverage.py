@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from ..model.attributes import NonKeyAttribute
 from ..model.entity_graph import EntityGraph
@@ -25,6 +25,10 @@ class CoverageKeyScorer(KeyScorer):
     """``Scov(τ) = |{v ∈ Vd : v has type τ}|``."""
 
     name = "coverage"
+    #: ``Scov(τ)`` reads one per-type count: rescoring only the dirty
+    #: types after a mutation is exact (see the delta pipeline in
+    #: :mod:`repro.ext.incremental`).
+    supports_delta = True
 
     def score_all(
         self, schema: SchemaGraph, entity_graph: Optional[EntityGraph] = None
@@ -34,6 +38,17 @@ class CoverageKeyScorer(KeyScorer):
             for type_name in schema.entity_types()
         }
 
+    def score_types(
+        self,
+        types: Iterable[TypeId],
+        schema: SchemaGraph,
+        entity_graph: Optional[EntityGraph] = None,
+    ) -> Dict[TypeId, float]:
+        """O(delta): one maintained-count lookup per dirty type."""
+        return {
+            type_name: float(schema.entity_count(type_name)) for type_name in types
+        }
+
 
 @register_nonkey_scorer
 class CoverageNonKeyScorer(NonKeyScorer):
@@ -41,6 +56,10 @@ class CoverageNonKeyScorer(NonKeyScorer):
 
     name = "coverage"
     requires_entity_graph = False
+    #: ``Sτcov(γ)`` reads one per-relationship-type count, and a new
+    #: instance of γ only dirties γ's two endpoint types — exactly the
+    #: key types the mutation log reports.
+    supports_delta = True
 
     def score_candidates(
         self,

@@ -80,6 +80,10 @@ class EntropyNonKeyScorer(NonKeyScorer):
 
     name = "entropy"
     requires_entity_graph = True
+    #: Entropy re-derives per-type value histograms from entity-level
+    #: adjacency — a rescan of ``T.τ``, not an O(delta) patch — so the
+    #: incremental pipeline falls back to a full context rebuild.
+    supports_delta = False
 
     def __init__(self, log_base: float = DEFAULT_LOG_BASE) -> None:
         if log_base <= 1.0:

@@ -25,6 +25,7 @@ array layout and conventions.
 
 from __future__ import annotations
 
+import copy
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..exceptions import ScoringError
@@ -37,6 +38,7 @@ from .base import (
     NonKeyScorer,
     make_key_scorer,
     make_nonkey_scorer,
+    scorer_pair_supports_delta,
 )
 from .candidate_pool import CandidatePool
 
@@ -104,6 +106,70 @@ class ScoringContext:
     @property
     def nonkey_scorer_name(self) -> str:
         return self._nonkey_scorer.name
+
+    # ------------------------------------------------------------------
+    # Delta maintenance
+    # ------------------------------------------------------------------
+    @property
+    def supports_delta(self) -> bool:
+        """Whether :meth:`patched` is sound for this scorer pairing.
+
+        True only when *both* scorers declare the per-type delta
+        capability (see :class:`~repro.scoring.base.KeyScorer`); pairs
+        with a global measure (random walk, entropy) rebuild from
+        scratch instead.
+        """
+        return scorer_pair_supports_delta(self._key_scorer, self._nonkey_scorer)
+
+    def patched(self, dirty_types: Iterable[TypeId]) -> "ScoringContext":
+        """A new context with only ``dirty_types`` re-scored.
+
+        The O(delta) sibling of ``__init__`` for *non-structural*
+        mutations (no new entity types or relationship types): untouched
+        types share their score dictionaries, ranked candidate lists and
+        candidate-pool rows with this context, so cost scales with the
+        dirty set, not the schema.  Requires :attr:`supports_delta`; the
+        caller (see :meth:`repro.ext.incremental.IncrementalEntityGraph.context`)
+        is responsible for routing structural deltas to a full rebuild.
+        """
+        if not self.supports_delta:
+            raise ScoringError(
+                f"scorer pair ({self.key_scorer_name!r}, "
+                f"{self.nonkey_scorer_name!r}) does not support delta "
+                f"patching — rebuild the context instead"
+            )
+        dirty = list(dict.fromkeys(dirty_types))
+        unknown = [t for t in dirty if t not in self._key_scores]
+        if unknown:
+            raise ScoringError(
+                f"cannot patch scoring context: types "
+                f"{sorted(map(str, unknown))} are unknown to it (structural "
+                f"mutation requires a rebuild)"
+            )
+        # A shallow copy keeps every attribute — including any added to
+        # __init__ later — and we then replace only the score state that
+        # the delta actually moves.
+        clone = copy.copy(self)
+        clone._key_scores = dict(self._key_scores)
+        clone._key_scores.update(
+            self._key_scorer.score_types(dirty, self.schema, self.entity_graph)
+        )
+        clone._nonkey_scores = dict(self._nonkey_scores)
+        clone._sorted_candidates = dict(self._sorted_candidates)
+        for type_name in dirty:
+            scores = self._nonkey_scorer.score_candidates(
+                type_name, self.schema, self.entity_graph
+            )
+            clone._nonkey_scores[type_name] = scores
+            clone._sorted_candidates[type_name] = sorted(
+                scores.items(), key=lambda item: (-item[1], str(item[0]))
+            )
+        # Patch the pool only if this context ever built one; otherwise
+        # stay lazy and let the clone build it on first use.
+        clone._pool = (
+            self._pool.patched(dirty, clone) if self._pool is not None else None
+        )
+        return clone
 
     # ------------------------------------------------------------------
     # Scores

@@ -28,6 +28,10 @@ class RandomWalkKeyScorer(KeyScorer):
     """``Swalk(τi) = π_i`` of the smoothed random walk over the type graph."""
 
     name = "random_walk"
+    #: The stationary distribution is a global fixed point: one new edge
+    #: weight moves every π_i, so there is no sound per-type delta — the
+    #: incremental pipeline falls back to a full recomputation.
+    supports_delta = False
 
     def __init__(
         self,

@@ -345,7 +345,10 @@ class TestEngineCacheInvalidation:
             live.add_relationship("director0", f"film{i + 3}", DIRECTED)
 
         after = engine.query(k=1, n=2)
-        assert engine.cache_info()["invalidations"] >= 1
+        # FILM/DIRECTOR scores moved, and the concise result depends on
+        # them: the entry must have been evicted (type-scoped, not a
+        # full invalidation — coverage scorers are delta-capable).
+        assert engine.cache_info()["evicted"] >= 1
         assert engine.cache_info()["generation"] == live.generation
         assert after.score > before.score  # re-solved against fresh scores
         # And identical to a from-scratch discovery on the mutated graph.
@@ -376,6 +379,13 @@ class TestEngineCacheInvalidation:
         It used to read ``_cache_generation`` without syncing, so between
         a tracked-source mutation and the next query it reported the old
         generation alongside pre-invalidation cache sizes.
+
+        Since the delta pipeline, the mutation (an entity of the
+        existing FILM type — non-structural, coverage scorers) triggers
+        a *type-scoped* eviction: both cached results depend on FILM, so
+        both are evicted, but the clique/profile group survives (its
+        dirty profiles are patched lazily on the next read) and no full
+        invalidation is recorded.
         """
         engine = live.engine()
         engine.query(k=1, n=2)
@@ -383,9 +393,10 @@ class TestEngineCacheInvalidation:
         live.add_entity("film-new", ["FILM"])
         info = engine.cache_info()  # no query ran since the mutation
         assert info["generation"] == live.generation
-        assert info["results"] == 0  # invalidated, not the stale sizes
-        assert info["profile_groups"] == 0
-        assert info["invalidations"] == 1
+        assert info["results"] == 0  # evicted, not the stale sizes
+        assert info["profile_groups"] == 1  # sweep state retained
+        assert info["invalidations"] == 0  # type-scoped, not a full drop
+        assert info["evicted"] == 2 and info["retained"] == 0
 
     def test_sweep_fast_path_under_interleaved_mutation(self, live):
         """Sweep answers after a mutation must match fresh discovery.

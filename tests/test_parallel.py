@@ -243,6 +243,48 @@ class TestAlgorithmEquivalence:
         assert any(result is not None for result in serial)
 
 
+class TestDeltaUnderShards:
+    """Type-scoped invalidation must hold under a real worker pool too."""
+
+    @SMALL
+    @given(st.integers(0, 10_000), st.integers(1, 3))
+    def test_mutating_sweeps_match_serial_and_rescan(self, seed, d):
+        """Interleave mutations with sharded sweeps: every batch must
+        equal the serial answer on a fresh engine, and the incremental
+        aggregates + delta-patched candidate pools must diff clean
+        against a full rescan after every mutation."""
+        from repro.core import make_context
+        from repro.ext import IncrementalEntityGraph
+        from repro.model import RelationshipTypeId
+
+        acted = RelationshipTypeId("Acted In", "ACTOR", "FILM")
+        directed = RelationshipTypeId("Directed", "DIRECTOR", "FILM")
+        inc = IncrementalEntityGraph(name=f"shard-delta-{seed}")
+        inc.add_entity("film0", ["FILM"])
+        inc.add_entity("actor0", ["ACTOR"])
+        inc.add_entity("director0", ["DIRECTOR"])
+        inc.add_relationship("actor0", "film0", acted)
+        inc.add_relationship("director0", "film0", directed)
+        engine = inc.engine()
+        grid = [
+            PreviewQuery(k=2, n=n, d=d, mode="tight") for n in (3, 4, 5)
+        ] + [PreviewQuery(k=2, n=4)]
+        for batch in range(3):
+            sharded = engine.sweep(grid, skip_infeasible=True, jobs=JOBS)
+            fresh = PreviewEngine(make_context(inc.entity_graph)).sweep(
+                grid, skip_infeasible=True
+            )
+            assert sharded == fresh, (seed, d, batch)
+            # Mutate: the next batch must observe the delta exactly.
+            inc.add_entity(f"film{batch + 1}", ["FILM"])
+            inc.add_relationship(
+                ("actor0", "director0")[batch % 2],
+                f"film{batch + 1}",
+                (acted, directed)[batch % 2],
+            )
+            assert inc.verify_against_rescan(), (seed, d, batch)
+
+
 class TestSerialFallback:
     def test_jobs_1_never_imports_multiprocessing(self):
         """The jobs=1 hot path must not even import multiprocessing."""
