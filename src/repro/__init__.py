@@ -65,7 +65,7 @@ from .model import (
 from .scoring import ScoringContext
 from .store import TripleStore
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DISCOVERY_ALGORITHMS",

@@ -25,6 +25,11 @@ Shard the qualifying-subset evaluation across worker processes (results
 are identical at any job count; 0 means all CPU cores)::
 
     repro-preview --domain music --tables 5 --tight 2 --sweep-n 6:14 --jobs 4
+
+Serve preview tables to concurrent clients over the JSON-line protocol
+(see ``docs/serving.md``)::
+
+    repro-preview serve --datasets film,music --port 9400 --jobs 2
 """
 
 from __future__ import annotations
@@ -35,7 +40,7 @@ from typing import List, Optional
 
 from .core.registry import available_algorithms
 from .core.render import render_preview
-from .datasets.freebase_like import DOMAINS, load_domain
+from .datasets.freebase_like import DOMAINS, generate_domain, load_domain
 from .datasets.loader import load_domain_file
 from .engine import PreviewEngine, PreviewQuery
 from .exceptions import ReproError
@@ -155,7 +160,139 @@ def _run_sweep(engine: PreviewEngine, args: argparse.Namespace, d, mode) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-preview serve",
+        description=(
+            "Serve preview tables to concurrent clients over the "
+            "JSON-line protocol (docs/serving.md)."
+        ),
+    )
+    parser.add_argument(
+        "--datasets",
+        default="film",
+        metavar="NAMES",
+        help=(
+            "comma-separated built-in domains to host (each gets a "
+            f"private copy); available: {', '.join(DOMAINS)}"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=9400, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes per dataset for sharded subset evaluation "
+            "(default 1 = serial, 0 = all CPU cores); one executor stays "
+            "alive across requests"
+        ),
+    )
+    parser.add_argument(
+        "--key-scorer",
+        choices=("coverage", "random_walk"),
+        default="coverage",
+        help="key attribute scoring measure",
+    )
+    parser.add_argument(
+        "--nonkey-scorer",
+        choices=("coverage", "entropy"),
+        default="coverage",
+        help="non-key attribute scoring measure",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=1000, help="domain downscale factor"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="generation seed")
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission control: reject requests beyond N in flight",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request timeout; expired requests answer a timeout error",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-preview serve``."""
+    import asyncio
+
+    from .serve import EngineHost, PreviewService
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        names = [name.strip() for name in args.datasets.split(",") if name.strip()]
+        if not names:
+            raise ReproError("--datasets must name at least one domain")
+        hosts = {}
+        for name in names:
+            if name not in DOMAINS:
+                raise ReproError(
+                    f"unknown domain {name!r}; available: {', '.join(DOMAINS)}"
+                )
+            # generate_domain (not the lru-cached load_domain): served
+            # graphs accept mutations and must be private copies.
+            hosts[name] = EngineHost(
+                name,
+                generate_domain(name, scale=args.scale, seed=args.seed),
+                key_scorer=args.key_scorer,
+                nonkey_scorer=args.nonkey_scorer,
+                jobs=args.jobs,
+            )
+        service = PreviewService(
+            hosts,
+            max_pending=args.max_pending,
+            request_timeout=args.timeout,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    async def run() -> None:
+        await service.start(args.host, args.port)
+        bound_host, bound_port = service.address
+        print(
+            f"serving {', '.join(sorted(hosts))} on {bound_host}:{bound_port} "
+            f"(jobs={args.jobs}, max_pending={args.max_pending}, "
+            f"timeout={args.timeout:g}s)",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    except OSError as exc:
+        # Bind failures (port in use, privileged port, bad address)
+        # follow the same error convention as every other CLI path.
+        print(f"error: cannot serve on {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

@@ -105,6 +105,23 @@ class PreviewEngine:
     key_scorer, nonkey_scorer:
         Scoring measure names; ignored when ``data`` is a prebuilt
         context.
+
+    Examples
+    --------
+    Build a tiny graph, keep one engine, and watch the second identical
+    query come out of the memo:
+
+    >>> from repro import EntityGraphBuilder, PreviewEngine
+    >>> b = EntityGraphBuilder("tiny")
+    >>> _ = b.entity("Men in Black", "FILM").entity("Will Smith", "FILM ACTOR")
+    >>> _ = b.relate("Will Smith", "Actor", "Men in Black")
+    >>> engine = PreviewEngine(b.build())
+    >>> engine.query(k=1, n=1).preview.table_count
+    1
+    >>> _ = engine.query(k=1, n=1)
+    >>> info = engine.cache_info()
+    >>> (info["misses"], info["hits"])
+    (1, 1)
     """
 
     def __init__(
@@ -303,21 +320,55 @@ class PreviewEngine:
         algorithm: str = "auto",
         jobs: int = 1,
     ) -> DiscoveryResult:
-        """Answer one preview query (same contract as ``discover_preview``)."""
+        """Answer one preview query (same contract as ``discover_preview``).
+
+        Keyword convenience over :meth:`run`: builds the
+        :class:`PreviewQuery` from ``k``/``n``/``d``/``mode``/
+        ``algorithm`` and returns its :class:`DiscoveryResult`; raises
+        :class:`~repro.exceptions.InfeasiblePreviewError` when no
+        preview satisfies the constraints.
+        """
         return self.run(
             PreviewQuery(k=k, n=n, d=d, mode=mode, algorithm=algorithm), jobs=jobs
         )
 
-    def run(self, query: PreviewQuery, jobs: int = 1) -> DiscoveryResult:
+    def run(
+        self,
+        query: PreviewQuery,
+        jobs: int = 1,
+        executor: Optional["ShardedExecutor"] = None,
+    ) -> DiscoveryResult:
         """Answer a :class:`PreviewQuery`; raises when infeasible.
 
-        ``jobs`` shards the qualifying-subset evaluation of the built-in
-        Apriori and brute-force algorithms across worker processes
-        (0 = all CPU cores) with bit-identical results; other algorithms
-        run serially regardless.  Memoization ignores ``jobs``, since it
-        never changes the answer.
+        Parameters
+        ----------
+        query:
+            The preview request (same contract as ``discover_preview``).
+        jobs:
+            Worker processes for the qualifying-subset evaluation of the
+            built-in Apriori and brute-force algorithms (0 = all CPU
+            cores), bit-identical to a serial run; other algorithms run
+            serially regardless.  Memoization ignores ``jobs``, since it
+            never changes the answer.
+        executor:
+            An already-running :class:`~repro.parallel.ShardedExecutor`
+            to shard on instead of spinning up (and tearing down) a
+            per-call pool — the serving layer keeps one executor alive
+            per dataset across requests.  Overrides ``jobs``.
+
+        Returns
+        -------
+        DiscoveryResult
+            The optimal preview with its score and provenance.
+
+        Raises
+        ------
+        InfeasiblePreviewError
+            When no preview satisfies the constraints.
+        DiscoveryError
+            When the query's constraints are malformed.
         """
-        result = self._run_cached(query, jobs=jobs)
+        result = self._run_cached(query, jobs=jobs, executor=executor)
         if result is None:
             raise InfeasiblePreviewError(
                 f"no preview satisfies the constraints ({query.describe()})"
@@ -329,22 +380,43 @@ class PreviewEngine:
         queries: Iterable[PreviewQuery],
         skip_infeasible: bool = False,
         jobs: int = 1,
+        executor: Optional["ShardedExecutor"] = None,
     ) -> List[Optional[DiscoveryResult]]:
         """Answer a batch of queries, sharing state across points.
 
-        Results are positionally aligned with ``queries`` and identical
-        to running each query alone (which in turn matches per-call
-        ``discover_preview``).  With ``skip_infeasible`` the result list
-        holds None at infeasible points instead of raising.
+        Parameters
+        ----------
+        queries:
+            The batch, answered in input order (deterministic
+            tie-breaks); an empty batch returns an empty list explicitly
+            rather than silently reporting a vacuous sweep.
+        skip_infeasible:
+            When true, infeasible points yield None in the result list
+            instead of raising.
+        jobs:
+            With ``jobs > 1`` the heavy lifting is sharded across one
+            worker pool shared by the whole batch: every sweep group's
+            per-subset allocation profiles are built in parallel shards
+            up front, and the independent sweep points are then answered
+            from those shared artifacts (plus sharded brute-force
+            evaluation for points that dispatch there).
+        executor:
+            An already-running :class:`~repro.parallel.ShardedExecutor`
+            to use for the whole batch instead of creating one;
+            overrides ``jobs``.  Lets a long-lived serving process
+            amortize worker startup across *batches*, not just points.
 
-        With ``jobs > 1`` the heavy lifting is sharded across one worker
-        pool shared by the whole batch: every sweep group's per-subset
-        allocation profiles are built in parallel shards up front, and
-        the independent sweep points are then answered — in input order,
-        for deterministic tie-breaks — from those shared artifacts (plus
-        sharded brute-force evaluation for points that dispatch there).
-        An empty batch returns an empty list explicitly rather than
-        silently reporting a vacuous sweep.
+        Returns
+        -------
+        list of DiscoveryResult or None
+            Positionally aligned with ``queries`` and identical to
+            running each query alone (which in turn matches per-call
+            ``discover_preview``).
+
+        Raises
+        ------
+        InfeasiblePreviewError
+            On the first infeasible point, unless ``skip_infeasible``.
         """
         queries = list(queries)
         if not queries:
@@ -353,6 +425,8 @@ class PreviewEngine:
                 "(was a grid axis empty or a generator already exhausted?)"
             )
             return []
+        if executor is not None:
+            return self._sweep_batch(queries, skip_infeasible, executor)
         if jobs != 1:
             from ..parallel import ShardedExecutor
 

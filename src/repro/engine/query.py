@@ -22,7 +22,18 @@ from ..exceptions import DiscoveryError
 
 @dataclass(frozen=True)
 class PreviewQuery:
-    """One preview request: ``(k, n)`` size, optional distance, algorithm."""
+    """One preview request: ``(k, n)`` size, optional distance, algorithm.
+
+    Examples
+    --------
+    Queries are immutable values; :meth:`grid` builds sweep batches in
+    deterministic order:
+
+    >>> PreviewQuery(k=3, n=9, d=2, mode="tight").describe()
+    'k=3, n=9, tight d=2'
+    >>> [q.n for q in PreviewQuery.grid(ks=(3,), ns=range(8, 11))]
+    [8, 9, 10]
+    """
 
     k: int
     n: int
@@ -57,6 +68,7 @@ class PreviewQuery:
         return (self.k, self.n, self.d, mode)
 
     def describe(self) -> str:
+        """Human-readable one-line form, used in logs and error messages."""
         text = f"k={self.k}, n={self.n}"
         if self.d is not None:
             text += f", {self.mode} d={self.d}"

@@ -102,6 +102,35 @@ class InfeasiblePreviewError(DiscoveryError):
     """
 
 
+class ServeError(ReproError):
+    """Errors raised by the preview-table service (``repro.serve``)."""
+
+
+class ProtocolError(ServeError):
+    """A wire frame violates the JSON-line protocol.
+
+    Carries the machine-readable error ``code`` the service reports back
+    to the client (see ``docs/serving.md`` for the full code table).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeRequestError(ServeError):
+    """A request was rejected by the service (client-side view).
+
+    Raised by :class:`~repro.serve.ServeClient` convenience methods when
+    the server answers with an error response; ``code`` holds the
+    protocol error code (``"infeasible"``, ``"timeout"``, ...).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
 class EvaluationError(ReproError):
     """Errors raised by the evaluation harness (``repro.eval``)."""
 

@@ -86,6 +86,14 @@ class IncrementalEntityGraph:
     # ------------------------------------------------------------------
     @property
     def entity_graph(self) -> EntityGraph:
+        """The wrapped (live) entity graph.
+
+        Mutating it directly is allowed: the changelog observes every
+        mutation, and the next read reconciles the maintained
+        aggregates — but mutations through the wrapper's
+        :meth:`add_entity` / :meth:`add_relationship` fold their deltas
+        eagerly and are cheaper.
+        """
         return self._graph
 
     @property
@@ -141,6 +149,22 @@ class IncrementalEntityGraph:
     # Mutation (O(1) score maintenance)
     # ------------------------------------------------------------------
     def add_entity(self, entity: EntityId, types: Iterable[TypeId]) -> None:
+        """Add ``entity`` with ``types``, maintaining scores in O(1).
+
+        Parameters
+        ----------
+        entity:
+            The entity id (idempotent: re-adding unions the types).
+        types:
+            One or more entity types; a type never seen before makes
+            this a *structural* mutation (downstream caches rebuild
+            instead of patching).
+
+        Raises
+        ------
+        SchemaViolationError
+            If ``types`` is empty.
+        """
         type_list = list(types)
         known_before = (
             self._graph.types_of(entity) if self._graph.has_entity(entity) else frozenset()
@@ -162,6 +186,25 @@ class IncrementalEntityGraph:
     def add_relationship(
         self, source: EntityId, target: EntityId, rel_type: RelationshipTypeId
     ) -> None:
+        """Add one ``rel_type`` instance, maintaining scores in O(1).
+
+        Parameters
+        ----------
+        source, target:
+            Existing entity ids bearing ``rel_type.source_type`` /
+            ``rel_type.target_type`` respectively.
+        rel_type:
+            The (name, source type, target type) relationship identity;
+            a never-seen relationship type makes this a *structural*
+            mutation.
+
+        Raises
+        ------
+        UnknownEntityError
+            If either endpoint does not exist.
+        SchemaViolationError
+            If an endpoint lacks the type the signature requires.
+        """
         synced = self._aggregate_generation == self.generation
         self._graph.add_relationship(source, target, rel_type)
         self._nonkey_coverage[rel_type] = self._nonkey_coverage.get(rel_type, 0) + 1

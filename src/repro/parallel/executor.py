@@ -34,7 +34,11 @@ ProfilePayload = Optional[Tuple[List[Tuple[int, int]], List[float], Optional[int
 
 
 def resolve_jobs(jobs: int) -> int:
-    """Normalize a user-facing ``jobs`` value (0 = all CPU cores)."""
+    """Normalize a user-facing ``jobs`` value (0 = all CPU cores).
+
+    Returns the effective worker count (always >= 1); raises
+    :class:`~repro.exceptions.DiscoveryError` for negative values.
+    """
     if jobs < 0:
         raise DiscoveryError(f"jobs must be non-negative, got {jobs}")
     if jobs == 0:
@@ -93,14 +97,22 @@ class ShardedExecutor:
     jobs:
         Worker processes (0 = all CPU cores).  With ``jobs=1`` every
         operation runs inline in the calling process.
+    start_method:
+        Multiprocessing start method; None picks ``fork`` when the
+        platform offers it (cheapest for one-shot CLI/bench runs).
+        Long-lived multi-threaded processes — the serve layer — must
+        pass ``"spawn"``: forking a process that already runs an event
+        loop plus worker threads can clone held locks into the child
+        and hang it.
 
     The pool is created lazily on the first parallel call and reused
     until :meth:`close` (the executor is a context manager), so a sweep
     amortizes worker startup across all of its groups and points.
     """
 
-    def __init__(self, jobs: int = 1) -> None:
+    def __init__(self, jobs: int = 1, start_method: Optional[str] = None) -> None:
         self.jobs = resolve_jobs(jobs)
+        self._start_method = start_method
         self._pool = None
 
     # ------------------------------------------------------------------
@@ -125,11 +137,13 @@ class ShardedExecutor:
             # serial fallback with no multiprocessing dependency.
             import multiprocessing
 
-            method = (
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else "spawn"
-            )
+            method = self._start_method
+            if method is None:
+                method = (
+                    "fork"
+                    if "fork" in multiprocessing.get_all_start_methods()
+                    else "spawn"
+                )
             self._pool = multiprocessing.get_context(method).Pool(
                 processes=self.jobs
             )

@@ -43,6 +43,11 @@ class ScoringSnapshot:
 
     @classmethod
     def from_pool(cls, pool: CandidatePool) -> "ScoringSnapshot":
+        """Project ``pool`` into a fresh snapshot (full re-projection).
+
+        Returns a snapshot whose ``weighted`` rows alias the pool's
+        immutable tuples — cheap to build, cheap to pickle.
+        """
         return cls(index=dict(pool.index), weighted=pool.weighted)
 
     def refresh(

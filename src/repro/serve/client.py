@@ -1,0 +1,236 @@
+"""A small blocking client for the preview-table service.
+
+:class:`ServeClient` speaks the JSON-line protocol over one TCP
+connection from plain synchronous code — it is how the test suite and
+``benchmarks/bench_serve.py`` drive the *real* socket path rather than
+calling the hosts directly.  One request is one round trip; responses
+arrive in request order on the connection.
+
+.. code-block:: python
+
+    with ServeClient(port=server.port) as client:
+        client.health()
+        result = client.preview(k=2, n=4)          # raises on error responses
+        client.mutate_entity("fresh-entity", ["FILM"])
+        stats = client.stats()
+
+The convenience methods unwrap success responses to their ``result``
+object and raise :class:`~repro.exceptions.ServeRequestError` (carrying
+the wire error ``code``) on error responses; :meth:`request` returns the
+raw response dict instead, and :meth:`send_raw` ships arbitrary bytes
+for protocol edge-case tests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional
+
+from ..exceptions import ServeError, ServeRequestError
+from .protocol import MAX_FRAME_BYTES, encode_frame
+
+
+class ServeClient:
+    """One blocking JSON-line connection to a :class:`PreviewService`.
+
+    Parameters
+    ----------
+    host, port:
+        The service address (see
+        :attr:`~repro.serve.BackgroundServer.port`).
+    timeout:
+        Socket timeout in seconds for connect and each response read.
+    dataset:
+        Default dataset name attached to every request (optional when
+        the service hosts exactly one dataset).
+
+    Raises
+    ------
+    OSError
+        When the connection cannot be established.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9400,
+        timeout: float = 30.0,
+        dataset: Optional[str] = None,
+    ) -> None:
+        self.dataset = dataset
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Wire
+    # ------------------------------------------------------------------
+    def send_raw(self, data: bytes) -> Dict[str, Any]:
+        """Ship raw bytes and read one response frame (for protocol tests)."""
+        self._sock.sendall(data)
+        return self._read_response()
+
+    def _read_response(self) -> Dict[str, Any]:
+        # Responses are not capped the way request frames are (a legal
+        # sweep over a large domain can serialize past MAX_FRAME_BYTES),
+        # so accumulate until the newline rather than trusting one
+        # bounded readline not to truncate mid-frame.
+        chunks = []
+        while True:
+            chunk = self._file.readline(MAX_FRAME_BYTES)
+            if not chunk:
+                if chunks:  # pragma: no cover - server died mid-frame
+                    raise ServeError("connection closed mid-response")
+                raise ServeError("server closed the connection")
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        try:
+            response = json.loads(b"".join(chunks).decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:  # pragma: no cover
+            raise ServeError(f"undecodable response frame: {exc}") from exc
+        if not isinstance(response, dict):  # pragma: no cover - server bug
+            raise ServeError(f"response frame is not an object: {response!r}")
+        return response
+
+    def request(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        dataset: Optional[str] = None,
+        request_id: Any = None,
+    ) -> Dict[str, Any]:
+        """One raw round trip; returns the full response dict.
+
+        ``request_id`` defaults to an auto-incrementing integer; the
+        response's ``id`` must echo it (a mismatch means the connection
+        was shared across threads, which this client does not support).
+
+        Raises
+        ------
+        ServeError
+            On transport failures or a response-id mismatch.
+        """
+        if request_id is None:
+            self._next_id += 1
+            request_id = self._next_id
+        frame: Dict[str, Any] = {"op": op, "id": request_id}
+        dataset = dataset if dataset is not None else self.dataset
+        if dataset is not None:
+            frame["dataset"] = dataset
+        if params is not None:
+            frame["params"] = params
+        self._sock.sendall(encode_frame(frame))
+        response = self._read_response()
+        if response.get("id") != request_id:
+            raise ServeError(
+                f"response id {response.get('id')!r} does not match request "
+                f"id {request_id!r} (is this connection shared?)"
+            )
+        return response
+
+    def _result(self, response: Dict[str, Any]) -> Dict[str, Any]:
+        if response.get("ok"):
+            return response["result"]
+        error = response.get("error") or {}
+        raise ServeRequestError(
+            str(error.get("code", "internal")), str(error.get("message", ""))
+        )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """The service's health snapshot (status + hosted datasets)."""
+        return self._result(self.request("health"))
+
+    def preview(
+        self,
+        k: int,
+        n: int,
+        d: Optional[int] = None,
+        mode: str = "tight",
+        algorithm: str = "auto",
+        dataset: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """One preview query; returns ``{"generation", "result"}``.
+
+        Raises
+        ------
+        ServeRequestError
+            With the wire code (``infeasible``, ``invalid-query``,
+            ``timeout``, ``overloaded``, ...) on error responses.
+        """
+        params: Dict[str, Any] = {"k": k, "n": n}
+        if d is not None:
+            params["d"] = d
+            params["mode"] = mode
+        if algorithm != "auto":
+            params["algorithm"] = algorithm
+        return self._result(self.request("preview", params, dataset))
+
+    def sweep(
+        self,
+        k: int,
+        ns: List[int],
+        d: Optional[int] = None,
+        mode: str = "tight",
+        algorithm: str = "auto",
+        dataset: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """A budget sweep; returns ``{"generation", "results"}``."""
+        params: Dict[str, Any] = {"k": k, "ns": list(ns)}
+        if d is not None:
+            params["d"] = d
+            params["mode"] = mode
+        if algorithm != "auto":
+            params["algorithm"] = algorithm
+        return self._result(self.request("sweep", params, dataset))
+
+    def mutate_entity(
+        self, entity: str, types: List[str], dataset: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Add (or extend) an entity; returns the new ``generation``."""
+        params = {"kind": "entity", "entity": entity, "types": list(types)}
+        return self._result(self.request("mutate", params, dataset))
+
+    def mutate_relationship(
+        self,
+        source: str,
+        target: str,
+        name: str,
+        source_type: str,
+        target_type: str,
+        dataset: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Add one relationship instance; returns the new ``generation``."""
+        params = {
+            "kind": "relationship",
+            "source": source,
+            "target": target,
+            "name": name,
+            "source_type": source_type,
+            "target_type": target_type,
+        }
+        return self._result(self.request("mutate", params, dataset))
+
+    def stats(self) -> Dict[str, Any]:
+        """Service + per-dataset counters (engine cache, coalescer, ...)."""
+        return self._result(self.request("stats"))

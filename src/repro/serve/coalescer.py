@@ -1,0 +1,91 @@
+"""In-flight request coalescing: one computation serves every identical waiter.
+
+Under preview-serving traffic the hottest request is the *same* request:
+many clients asking for the same ``(dataset, query)`` at the same
+moment.  The engine's memo cache already makes the second *sequential*
+ask O(1) — but concurrent identical asks would each miss the (not yet
+populated) memo and compute redundantly.  :class:`RequestCoalescer`
+closes that gap: the first arrival (the *leader*) starts the
+computation as a task keyed by ``(dataset, query, generation)``, and
+every later arrival with the same key *joins* the in-flight task
+instead of starting its own.  All waiters receive the leader's result
+object — bit-identical by construction, not merely equal.
+
+The shared task is awaited through :func:`asyncio.shield`, so one
+waiter's cancellation (per-request timeout, client disconnect) never
+kills the computation other waiters — or the engine's memo cache —
+still want.  Generation is part of the key: a request admitted after a
+mutation never joins a pre-mutation computation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Hashable
+
+
+class RequestCoalescer:
+    """Deduplicate identical in-flight computations by key."""
+
+    def __init__(self) -> None:
+        self._inflight: Dict[Hashable, asyncio.Task] = {}
+        self._leaders = 0
+        self._coalesced = 0
+
+    @property
+    def inflight(self) -> int:
+        """Number of distinct computations currently in flight."""
+        return len(self._inflight)
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative counters: computations led vs. requests coalesced.
+
+        ``leaders`` counts computations started; ``coalesced`` counts
+        requests that joined an already in-flight computation instead of
+        starting their own (the dedup the service surfaces in ``stats``).
+        """
+        return {
+            "leaders": self._leaders,
+            "coalesced": self._coalesced,
+            "inflight": len(self._inflight),
+        }
+
+    async def run(
+        self,
+        key: Hashable,
+        factory: Callable[[], Awaitable[Any]],
+    ) -> Any:
+        """Return ``factory()``'s result, sharing any in-flight run for ``key``.
+
+        Parameters
+        ----------
+        key:
+            Identity of the computation; requests with equal keys share
+            one execution.
+        factory:
+            Zero-argument coroutine function producing the result; only
+            invoked when no computation for ``key`` is in flight.
+
+        Raises
+        ------
+        Exception
+            Whatever the (possibly shared) computation raised — every
+            waiter observes the same exception.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            self._leaders += 1
+            task = asyncio.ensure_future(factory())
+            self._inflight[key] = task
+            task.add_done_callback(lambda done, key=key: self._finish(key, done))
+        else:
+            self._coalesced += 1
+        return await asyncio.shield(task)
+
+    def _finish(self, key: Hashable, task: asyncio.Task) -> None:
+        self._inflight.pop(key, None)
+        if not task.cancelled():
+            # Mark a failure as observed even if every waiter was
+            # cancelled before the result landed, so the event loop
+            # never logs "exception was never retrieved".
+            task.exception()

@@ -1,0 +1,90 @@
+"""An asyncio read/write lock with writer preference.
+
+The service serializes *mutations* against *queries* per dataset: any
+number of concurrent queries may hold the read side, a mutation takes
+the write side exclusively, and — because a steady query stream must not
+starve mutations — a waiting writer blocks new readers from being
+admitted (writer preference).
+
+The implementation is a single :class:`asyncio.Condition` over three
+counters; both sides are exposed as async context managers:
+
+.. code-block:: python
+
+    lock = ReadWriteLock()
+    async with lock.read_locked():     # many concurrently
+        ...
+    async with lock.write_locked():    # exclusive
+        ...
+
+Cancellation-safe: a task cancelled while *waiting* never leaves a
+counter behind; a task cancelled while *holding* a side releases it via
+the context manager's ``finally``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+
+
+class ReadWriteLock:
+    """Many-reader / one-writer asyncio lock with writer preference."""
+
+    def __init__(self) -> None:
+        # Created lazily inside the first acquiring coroutine: on
+        # Python 3.9 an asyncio.Condition binds the construction-time
+        # event loop, and hosts are routinely built on a different
+        # thread than the one that serves them.
+        self._cond: asyncio.Condition = None  # type: ignore[assignment]
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def _condition(self) -> asyncio.Condition:
+        if self._cond is None:
+            self._cond = asyncio.Condition()
+        return self._cond
+
+    @asynccontextmanager
+    async def read_locked(self):
+        """Hold the shared (read) side for the duration of the block.
+
+        Waits while a writer is active *or waiting* — the preference
+        that keeps a mutation from starving under continuous queries.
+        """
+        cond = self._condition()
+        async with cond:
+            while self._writer_active or self._writers_waiting:
+                await cond.wait()
+            self._readers += 1
+        try:
+            yield self
+        finally:
+            async with cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    cond.notify_all()
+
+    @asynccontextmanager
+    async def write_locked(self):
+        """Hold the exclusive (write) side for the duration of the block.
+
+        Waits until every admitted reader has drained and no other
+        writer is active.
+        """
+        cond = self._condition()
+        async with cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    await cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield self
+        finally:
+            async with cond:
+                self._writer_active = False
+                cond.notify_all()

@@ -1,0 +1,182 @@
+"""The JSON-line wire protocol of the preview-table service.
+
+One frame per line, UTF-8 JSON, ``\\n`` terminated — the simplest
+protocol a shell user can speak with ``nc`` and a test can assert
+byte-for-byte.  A request frame is an object with an ``op`` plus
+optional ``id`` (echoed back verbatim), ``dataset`` (defaulted when the
+service hosts exactly one) and ``params``:
+
+.. code-block:: json
+
+    {"op": "preview", "id": 1, "dataset": "film", "params": {"k": 2, "n": 4}}
+
+Every response carries ``ok`` — ``true`` with a ``result`` object, or
+``false`` with an ``error`` object holding a machine-readable ``code``
+and a human-readable ``message``.  The full request/response reference
+with captured examples lives in ``docs/serving.md``; the error-code
+table is :data:`ERROR_CODES`.
+
+This module is pure data plumbing: framing, parsing and validation.  It
+has no asyncio dependency, so the blocking :class:`~repro.serve.ServeClient`
+and the async service share one codec.
+
+>>> frame = encode_frame({"op": "health", "id": 7})
+>>> frame
+b'{"id": 7, "op": "health"}\\n'
+>>> parse_request(decode_frame(frame)).op
+'health'
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..exceptions import ProtocolError
+
+#: Default cap on one encoded *request* frame, bytes.  Oversized
+#: requests are rejected with an ``oversized`` error before any JSON
+#: parsing happens (responses are not capped: a legal sweep can
+#: serialize past any fixed bound, and clients read to the newline).
+MAX_FRAME_BYTES = 1 << 20
+
+#: Operations a service accepts.
+OPERATIONS = ("preview", "sweep", "mutate", "stats", "health")
+
+#: Machine-readable error codes a response may carry.
+ERROR_CODES = {
+    "bad-frame": "the line is not a JSON object",
+    "bad-request": "the frame is valid JSON but violates the request shape",
+    "unknown-op": "the op is not one of OPERATIONS",
+    "unknown-dataset": "the dataset name is not hosted by this service",
+    "invalid-query": "the query parameters fail constraint validation",
+    "infeasible": "no preview satisfies the constraints",
+    "oversized": "the request frame exceeds the service's frame cap",
+    "overloaded": "admission control rejected the request (queue full)",
+    "timeout": "the request exceeded the per-request timeout",
+    "internal": "an unexpected server-side error",
+}
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed, shape-validated request frame.
+
+    Attributes
+    ----------
+    op:
+        The operation name (member of :data:`OPERATIONS`).
+    id:
+        Client-chosen correlation value (string, number, or None),
+        echoed back verbatim in the response.
+    dataset:
+        Target dataset name, or None to use the service's sole dataset.
+    params:
+        Operation parameters (always a dict, possibly empty).
+    """
+
+    op: str
+    id: Any = None
+    dataset: Optional[str] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Encode one frame: compact, key-sorted JSON plus the ``\\n`` terminator.
+
+    Key-sorted encoding makes equal payloads byte-identical on the wire,
+    which the coalescing tests (and the ``docs/serving.md`` examples)
+    rely on.
+
+    Raises
+    ------
+    ProtocolError
+        If ``payload`` contains values JSON cannot represent.
+    """
+    try:
+        text = json.dumps(payload, sort_keys=True, separators=(", ", ": "))
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("bad-frame", f"unencodable frame: {exc}") from exc
+    return text.encode("utf-8") + b"\n"
+
+
+def decode_frame(data: bytes, max_frame: int = MAX_FRAME_BYTES) -> Dict[str, Any]:
+    """Decode one received line into a JSON object.
+
+    Returns
+    -------
+    dict
+        The decoded JSON object.
+
+    Raises
+    ------
+    ProtocolError
+        With code ``oversized`` when the line exceeds ``max_frame``
+        (default :data:`MAX_FRAME_BYTES`), or ``bad-frame`` when it is
+        not valid UTF-8 JSON or not a JSON *object*.
+    """
+    if len(data) > max_frame:
+        raise ProtocolError(
+            "oversized",
+            f"frame of {len(data)} bytes exceeds the {max_frame}-byte cap",
+        )
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad-frame", f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad-frame", f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def parse_request(payload: Dict[str, Any]) -> Request:
+    """Validate a decoded frame's shape into a :class:`Request`.
+
+    Raises
+    ------
+    ProtocolError
+        With code ``bad-request`` for a missing/malformed ``op``,
+        ``dataset`` or ``params`` field, or ``unknown-op`` for an
+        unrecognized operation.
+    """
+    op = payload.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad-request", "request must carry a string 'op'")
+    if op not in OPERATIONS:
+        raise ProtocolError(
+            "unknown-op",
+            f"unknown op {op!r}; expected one of {', '.join(OPERATIONS)}",
+        )
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int, float)):
+        raise ProtocolError("bad-request", "'id' must be a string or number")
+    dataset = payload.get("dataset")
+    if dataset is not None and not isinstance(dataset, str):
+        raise ProtocolError("bad-request", "'dataset' must be a string")
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise ProtocolError("bad-request", "'params' must be an object")
+    return Request(op=op, id=request_id, dataset=dataset, params=params)
+
+
+def ok_response(request_id: Any, op: str, result: Dict[str, Any]) -> Dict[str, Any]:
+    """The success response frame for one request."""
+    return {"id": request_id, "ok": True, "op": op, "result": result}
+
+
+def error_response(request_id: Any, code: str, message: str) -> Dict[str, Any]:
+    """The error response frame for one request.
+
+    ``code`` must be a member of :data:`ERROR_CODES` — an unknown code
+    is itself a programming error and maps to ``internal``.
+    """
+    if code not in ERROR_CODES:
+        code, message = "internal", f"unmapped error code {code!r}: {message}"
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }

@@ -27,6 +27,22 @@ class TripleStore:
 
     ``add``/``remove`` are O(1) amortized; ``scan`` with any combination of
     bound terms uses the most selective available index.
+
+    Examples
+    --------
+    Assertions are counted (entity graphs are multigraphs), and a scan
+    with any bound/unbound combination is an index lookup:
+
+    >>> from repro.model.triples import Triple
+    >>> store = TripleStore()
+    >>> store.add(Triple("Will Smith", "a", "FILM ACTOR"))
+    >>> store.add(Triple("Will Smith", "Actor", "Men in Black"), count=2)
+    >>> len(store)
+    3
+    >>> sorted(p for _, p, _ in store.scan(subject="Will Smith"))
+    ['Actor', 'a']
+    >>> store.count(Triple("Will Smith", "Actor", "Men in Black"))
+    2
     """
 
     def __init__(self) -> None:

@@ -1,0 +1,79 @@
+"""Replay every wire example in ``docs/serving.md`` verbatim.
+
+The protocol reference documents a complete captured session; this test
+re-runs it against a fresh service — each documented request is sent
+byte-for-byte as its own frame, in document order, on one connection —
+and asserts the service answers exactly the documented response.  If the
+protocol, the serving counters or the film domain's deterministic
+generation drift, this fails and the document must be re-captured.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import socket
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.freebase_like import generate_domain
+from repro.serve import EngineHost, PreviewService, run_in_background
+
+DOC = Path(__file__).resolve().parents[1] / "docs" / "serving.md"
+
+#: The dataset fixture the document states its session was captured on.
+DOC_DOMAIN, DOC_SCALE, DOC_SEED = "film", 1000, 0
+
+BLOCK = re.compile(r"```json (request|response)\n(.*?)\n```", re.S)
+
+
+def documented_session():
+    """The (request_text, response_json) pairs of docs/serving.md, in order."""
+    blocks = BLOCK.findall(DOC.read_text(encoding="utf-8"))
+    assert blocks, f"no fenced wire examples found in {DOC}"
+    pairs = []
+    for index in range(0, len(blocks), 2):
+        kind, request_text = blocks[index]
+        assert kind == "request", f"unpaired wire block #{index} in {DOC}"
+        kind, response_text = blocks[index + 1]
+        assert kind == "response", f"request block #{index} lacks a response"
+        assert "\n" not in request_text.strip(), (
+            "documented requests must be single-line frames (they are "
+            "sent verbatim)"
+        )
+        pairs.append((request_text.strip(), json.loads(response_text)))
+    return pairs
+
+
+def test_serving_doc_examples_are_live():
+    pairs = documented_session()
+    assert len(pairs) >= 8, "the documented session lost examples"
+    host = EngineHost(
+        DOC_DOMAIN, generate_domain(DOC_DOMAIN, scale=DOC_SCALE, seed=DOC_SEED)
+    )
+    server = run_in_background(PreviewService({DOC_DOMAIN: host}))
+    try:
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=60
+        ) as sock:
+            reader = sock.makefile("rb")
+            for index, (request_text, documented) in enumerate(pairs):
+                sock.sendall(request_text.encode("utf-8") + b"\n")
+                answered = json.loads(reader.readline().decode("utf-8"))
+                assert answered == documented, (
+                    f"response #{index + 1} diverged from docs/serving.md "
+                    f"for request: {request_text}"
+                )
+    finally:
+        server.stop()
+
+
+@pytest.mark.parametrize("field", ["bad-frame", "overloaded", "timeout"])
+def test_documented_error_codes_exist(field):
+    """Every code the doc's error table names is a real protocol code."""
+    from repro.serve import ERROR_CODES
+
+    text = DOC.read_text(encoding="utf-8")
+    assert f"`{field}`" in text
+    assert field in ERROR_CODES

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Verify that ``file:symbol`` references in the docs still resolve.
+
+The docs (``docs/paper-map.md`` above all) anchor paper constructs to
+code with inline references of the form::
+
+    `src/repro/core/apriori.py:apriori_discover`
+    `src/repro/ext/incremental.py:IncrementalEntityGraph.add_entity`
+
+This checker extracts every such reference — plus every bare
+`` `path/to/file.py` `` code span — from the given markdown files and
+resolves it against the repository: the file must exist, and the symbol
+must be a module-level ``def``/``class``/assignment in that file's AST
+(or, for a dotted ``Class.method`` form, a member of that class).  A
+rename that orphans a reference fails CI until the doc is updated.
+
+Usage::
+
+    python tools/check_docs.py [docs/paper-map.md docs/architecture.md ...]
+
+With no arguments, every ``docs/*.md`` file is checked.  Exits non-zero
+listing each dangling reference.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: `path/to/file.py:Symbol` or `path/to/file.py:Class.method` in a code span.
+SYMBOL_REF = re.compile(r"`([\w./-]+\.py):([A-Za-z_][\w]*(?:\.[A-Za-z_][\w]*)?)`")
+#: Bare `path/to/file.py` code spans (existence-checked only).
+FILE_REF = re.compile(r"`([\w./-]+\.py)`")
+
+
+def module_symbols(path: Path) -> Tuple[Set[str], Dict[str, Set[str]]]:
+    """Top-level symbol names and per-class member names of one module."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    top: Set[str] = set()
+    members: Dict[str, Set[str]] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            top.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            top.add(node.name)
+            names: Set[str] = set()
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(item.name)
+                elif isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+                elif isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    names.add(item.target.id)
+            members[node.name] = names
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    top.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            top.add(node.target.id)
+    return top, members
+
+
+def check_document(doc: Path) -> List[str]:
+    """Every dangling reference in ``doc``, as human-readable problems."""
+    text = doc.read_text(encoding="utf-8")
+    problems: List[str] = []
+    cache: Dict[Path, Tuple[Set[str], Dict[str, Set[str]]]] = {}
+
+    for match in SYMBOL_REF.finditer(text):
+        rel, symbol = match.groups()
+        target = REPO_ROOT / rel
+        if not target.is_file():
+            problems.append(f"{doc.name}: `{rel}:{symbol}` — no such file {rel}")
+            continue
+        if target not in cache:
+            cache[target] = module_symbols(target)
+        top, members = cache[target]
+        if "." in symbol:
+            class_name, member = symbol.split(".", 1)
+            if class_name not in members:
+                problems.append(
+                    f"{doc.name}: `{rel}:{symbol}` — no class {class_name!r} in {rel}"
+                )
+            elif member not in members[class_name]:
+                problems.append(
+                    f"{doc.name}: `{rel}:{symbol}` — class {class_name!r} has no "
+                    f"member {member!r}"
+                )
+        elif symbol not in top:
+            problems.append(
+                f"{doc.name}: `{rel}:{symbol}` — no top-level symbol "
+                f"{symbol!r} in {rel}"
+            )
+
+    for match in FILE_REF.finditer(text):
+        rel = match.group(1)
+        if not (REPO_ROOT / rel).is_file():
+            problems.append(f"{doc.name}: `{rel}` — no such file")
+
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if argv:
+        docs = [Path(arg) for arg in argv]
+    else:
+        docs = sorted((REPO_ROOT / "docs").glob("*.md"))
+    if not docs:
+        print("check_docs: no documents to check", file=sys.stderr)
+        return 1
+    problems: List[str] = []
+    checked = 0
+    for doc in docs:
+        if not doc.is_file():
+            problems.append(f"{doc}: document does not exist")
+            continue
+        checked += 1
+        problems.extend(check_document(doc))
+    if problems:
+        print(f"check_docs: {len(problems)} dangling reference(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"check_docs: all references resolve across {checked} document(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
