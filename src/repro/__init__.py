@@ -51,6 +51,7 @@ from .exceptions import (
     SchemaViolationError,
     ScoringError,
     StoreError,
+    WorkloadError,
 )
 from .model import (
     Direction,
@@ -65,7 +66,7 @@ from .model import (
 from .scoring import ScoringContext
 from .store import TripleStore
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "DISCOVERY_ALGORITHMS",
@@ -97,6 +98,7 @@ __all__ = [
     "SizeConstraint",
     "StoreError",
     "TripleStore",
+    "WorkloadError",
     "apriori_discover",
     "brute_force_discover",
     "discover_preview",

@@ -30,6 +30,12 @@ Serve preview tables to concurrent clients over the JSON-line protocol
 (see ``docs/serving.md``)::
 
     repro-preview serve --datasets film,music --port 9400 --jobs 2
+
+Record a workload trace and differentially verify it across the serial,
+incremental, sharded and serve execution paths (``docs/workloads.md``)::
+
+    repro-preview workload record --domain film --ops 200 --out trace.jsonl
+    repro-preview workload replay trace.jsonl --diff --jobs 2
 """
 
 from __future__ import annotations
@@ -289,10 +295,160 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def build_workload_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-preview workload",
+        description=(
+            "Generate, record, replay and differentially verify workload "
+            "traces (docs/workloads.md)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_generation_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--domain", choices=DOMAINS, default="film",
+            help="built-in domain the trace runs against",
+        )
+        sub.add_argument(
+            "--scale", type=int, default=1000, help="domain downscale factor"
+        )
+        sub.add_argument("--seed", type=int, default=0, help="generation seed")
+        sub.add_argument(
+            "--ops", type=int, default=100, help="operations to generate"
+        )
+        sub.add_argument(
+            "--scenario", default="steady", metavar="NAME",
+            help="scenario preset (see `repro.workload.SCENARIOS`)",
+        )
+
+    def add_jobs_arg(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--jobs", "-j", type=int, default=2, metavar="N",
+            help="worker processes for the sharded path (default 2)",
+        )
+
+    record = commands.add_parser(
+        "record",
+        help="generate a scenario, record payload digests, write a JSONL trace",
+    )
+    add_generation_args(record)
+    record.add_argument(
+        "--out", "-o", required=True, metavar="TRACE.jsonl",
+        help="where to write the recorded trace",
+    )
+
+    replay = commands.add_parser(
+        "replay", help="replay a recorded trace through one or all paths"
+    )
+    replay.add_argument("trace", metavar="TRACE.jsonl", help="trace file to replay")
+    replay.add_argument(
+        "--path", default="incremental", metavar="PATH",
+        help=(
+            "execution path: serial, incremental, sharded, serve "
+            "(ignored with --diff, which runs all of them)"
+        ),
+    )
+    replay.add_argument(
+        "--diff", action="store_true",
+        help="replay through every path and diff the payloads op by op",
+    )
+    add_jobs_arg(replay)
+
+    diff = commands.add_parser(
+        "diff", help="shorthand for `replay --diff` (all paths, differential)"
+    )
+    diff.add_argument("trace", metavar="TRACE.jsonl", help="trace file to diff")
+    add_jobs_arg(diff)
+
+    run = commands.add_parser(
+        "run", help="generate a scenario and run the conformance oracle on it"
+    )
+    add_generation_args(run)
+    add_jobs_arg(run)
+    run.add_argument(
+        "--paths", default=",".join(("serial", "incremental", "sharded", "serve")),
+        metavar="P1,P2,...", help="comma-separated replay paths to compare",
+    )
+    return parser
+
+
+def _workload_diff(trace, jobs: int, paths=None) -> int:
+    from .workload import REPLAY_PATHS, format_report, run_conformance
+
+    report = run_conformance(trace, paths=paths or REPLAY_PATHS, jobs=jobs)
+    print(format_report(report))
+    ok = report["identical"] and report["recorded_digests"]["ok"]
+    return 0 if ok else 1
+
+
+def workload_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-preview workload``."""
+    from .workload import (
+        WorkloadTrace,
+        generate_trace,
+        record_digests,
+        replay_trace,
+    )
+
+    args = build_workload_parser().parse_args(argv)
+    try:
+        if args.command == "record":
+            trace = generate_trace(
+                domain=args.domain, scale=args.scale, seed=args.seed,
+                ops=args.ops, scenario=args.scenario,
+            )
+            trace = record_digests(trace)
+            trace.dump(args.out)
+            print(
+                f"recorded {len(trace.ops)} ops ({trace.read_count} reads, "
+                f"{trace.mutation_count} mutations) on {trace.domain} "
+                f"-> {args.out}"
+            )
+            return 0
+        if args.command == "run":
+            trace = generate_trace(
+                domain=args.domain, scale=args.scale, seed=args.seed,
+                ops=args.ops, scenario=args.scenario,
+            )
+            paths = [name.strip() for name in args.paths.split(",") if name.strip()]
+            return _workload_diff(trace, args.jobs, paths=paths)
+        trace = WorkloadTrace.load(args.trace)
+        if args.command == "diff" or args.diff:
+            return _workload_diff(trace, args.jobs)
+        result = replay_trace(
+            trace, path=args.path, jobs=args.jobs, verify_digests=True
+        )
+        print(
+            f"{result.path}: {result.ops} ops in {result.seconds:.3f}s "
+            f"({result.ops_per_second:.2f} ops/s, {result.reads} reads, "
+            f"{result.mutations} mutations)"
+        )
+        # Checked unconditionally: a trace that carries digests on only
+        # some ops (hand-edited, merge-damaged) must still fail loudly
+        # when any of those digests is not reproduced.
+        if result.digest_mismatches:
+            first = result.digest_mismatches[0]
+            print(
+                f"error: {len(result.digest_mismatches)} recorded digest(s) "
+                f"not reproduced (first at op #{first[0]})",
+                file=sys.stderr,
+            )
+            return 1
+        if trace.has_digests():
+            print("recorded digests: reproduced byte-for-byte")
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "workload":
+        return workload_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

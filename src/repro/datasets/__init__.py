@@ -16,7 +16,7 @@ from .gold_standard import (
     gold_nonkey_attributes,
     gold_size_constraint,
 )
-from .loader import load_domain_file, save_domain
+from .loader import graph_fingerprint, load_domain_file, save_domain
 from .profiles import (
     DEFAULT_SCALE,
     FREEBASE_PROFILES,
@@ -46,6 +46,7 @@ __all__ = [
     "gold_key_attributes",
     "gold_nonkey_attributes",
     "gold_size_constraint",
+    "graph_fingerprint",
     "load_domain",
     "load_domain_file",
     "load_schema",

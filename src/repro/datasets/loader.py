@@ -6,6 +6,7 @@ without regeneration — the workflow the paper's MySQL import supports.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Union
 
@@ -15,6 +16,36 @@ from ..store.persistence import load_jsonl, load_tsv, save_jsonl, save_tsv
 from ..store.schema_extract import entity_graph_from_store, store_from_entity_graph
 
 PathLike = Union[str, "os.PathLike[str]"]
+
+
+def graph_fingerprint(graph: EntityGraph) -> str:
+    """A stable content digest of an entity graph (``sha256:<hex>``).
+
+    Hashes the sorted entity→types mapping and the sorted relationship
+    instances — the full extensional content, independent of insertion
+    order and hash randomization.  Two graphs with the same fingerprint
+    answer every preview query identically.
+
+    The workload-trace format (``docs/workloads.md``) embeds the
+    fingerprint of a trace's starting graph in its header, so a
+    replayer whose regenerated domain has drifted (generator change,
+    profile edit) fails with a clear dataset-mismatch error instead of
+    a wall of payload-digest mismatches.
+    """
+    digest = hashlib.sha256()
+    for entity in sorted(graph.entities()):
+        types = ",".join(sorted(graph.types_of(entity)))
+        digest.update(f"E\t{entity}\t{types}\n".encode("utf-8"))
+    for source, target, rel in sorted(
+        graph.relationships(),
+        key=lambda item: (item[0], item[1], item[2].name,
+                          item[2].source_type, item[2].target_type),
+    ):
+        digest.update(
+            f"R\t{source}\t{target}\t{rel.name}\t{rel.source_type}"
+            f"\t{rel.target_type}\n".encode("utf-8")
+        )
+    return f"sha256:{digest.hexdigest()}"
 
 
 def save_domain(graph: EntityGraph, path: PathLike) -> int:

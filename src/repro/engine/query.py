@@ -67,6 +67,27 @@ class PreviewQuery:
         mode = self.mode if self.d is not None else None
         return (self.k, self.n, self.d, mode)
 
+    def to_params(self) -> dict:
+        """The serve-shaped wire params dict of this query.
+
+        The inverse of :func:`repro.serve.parse_query` — defaults are
+        omitted, so the dict is minimal and round-trips exactly; the
+        workload recorder uses it to write queries into traces in the
+        same shape the serving protocol speaks.
+
+        >>> PreviewQuery(k=2, n=5).to_params()
+        {'k': 2, 'n': 5}
+        >>> PreviewQuery(k=3, n=9, d=2, mode="diverse").to_params()
+        {'k': 3, 'n': 9, 'd': 2, 'mode': 'diverse'}
+        """
+        params: dict = {"k": self.k, "n": self.n}
+        if self.d is not None:
+            params["d"] = self.d
+            params["mode"] = self.mode
+        if self.algorithm != "auto":
+            params["algorithm"] = self.algorithm
+        return params
+
     def describe(self) -> str:
         """Human-readable one-line form, used in logs and error messages."""
         text = f"k={self.k}, n={self.n}"

@@ -131,6 +131,15 @@ class ServeRequestError(ServeError):
         self.code = code
 
 
+class WorkloadError(ReproError):
+    """Errors raised by the workload subsystem (``repro.workload``).
+
+    Covers malformed or version-incompatible trace files, misconfigured
+    scenario generators, and replay accounting violations (a replay
+    path whose ``cache_info()``/coalescer counters stop being sane).
+    """
+
+
 class EvaluationError(ReproError):
     """Errors raised by the evaluation harness (``repro.eval``)."""
 

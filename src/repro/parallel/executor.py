@@ -158,7 +158,16 @@ class ShardedExecutor:
         subsets: Sequence[Tuple[TypeId, ...]],
         cap: Optional[int],
     ) -> List[Tuple]:
-        """Contiguous shards tagged with their global start index."""
+        """Contiguous shards tagged with their global start index.
+
+        Never produces an empty shard: the shard count is capped at the
+        subset count, so every shard carries at least one subset (an
+        empty ``subsets`` yields zero shards rather than dividing by
+        zero — the public operations short-circuit before that, but the
+        sharding itself is total).
+        """
+        if not subsets:
+            return []
         shards = min(self.jobs, len(subsets))
         base, remainder = divmod(len(subsets), shards)
         payloads = []

@@ -29,7 +29,7 @@ layer sits in the stack.
 
 from .client import ServeClient
 from .coalescer import RequestCoalescer
-from .host import EngineHost, parse_query, parse_sweep
+from .host import EngineHost, parse_mutation, parse_query, parse_sweep
 from .locks import ReadWriteLock
 from .protocol import (
     ERROR_CODES,
@@ -59,6 +59,7 @@ __all__ = [
     "encode_frame",
     "error_response",
     "ok_response",
+    "parse_mutation",
     "parse_query",
     "parse_request",
     "parse_sweep",

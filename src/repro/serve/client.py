@@ -84,8 +84,19 @@ class ServeClient:
     # ------------------------------------------------------------------
     def send_raw(self, data: bytes) -> Dict[str, Any]:
         """Ship raw bytes and read one response frame (for protocol tests)."""
-        self._sock.sendall(data)
+        self._send(data)
         return self._read_response()
+
+    def _send(self, data: bytes) -> None:
+        # The transport contract holds on both halves of a round trip:
+        # a peer that hung up surfaces as ServeError here, not as a raw
+        # BrokenPipeError that skips callers' `except ServeError`.
+        try:
+            self._sock.sendall(data)
+        except socket.timeout as exc:
+            raise ServeError("timed out sending a request frame") from exc
+        except ConnectionError as exc:
+            raise ServeError(f"connection failed mid-request: {exc}") from exc
 
     def _read_response(self) -> Dict[str, Any]:
         # Responses are not capped the way request frames are (a legal
@@ -94,7 +105,17 @@ class ServeClient:
         # bounded readline not to truncate mid-frame.
         chunks = []
         while True:
-            chunk = self._file.readline(MAX_FRAME_BYTES)
+            try:
+                chunk = self._file.readline(MAX_FRAME_BYTES)
+            except socket.timeout as exc:
+                # Transport failures surface as ServeError, per the
+                # request() contract — a raw socket.timeout would skip
+                # every `except ServeError` a caller wrote.
+                raise ServeError(
+                    "timed out waiting for a response frame"
+                ) from exc
+            except ConnectionError as exc:
+                raise ServeError(f"connection failed mid-response: {exc}") from exc
             if not chunk:
                 if chunks:  # pragma: no cover - server died mid-frame
                     raise ServeError("connection closed mid-response")
@@ -137,7 +158,7 @@ class ServeClient:
             frame["dataset"] = dataset
         if params is not None:
             frame["params"] = params
-        self._sock.sendall(encode_frame(frame))
+        self._send(encode_frame(frame))
         response = self._read_response()
         if response.get("id") != request_id:
             raise ServeError(
@@ -157,6 +178,26 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
+    def call(
+        self,
+        op: str,
+        params: Optional[Dict[str, Any]] = None,
+        dataset: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """One round trip, unwrapped to its ``result`` object.
+
+        The generic form of the convenience methods below — used by the
+        workload replayer, which ships recorded params dicts verbatim.
+
+        Raises
+        ------
+        ServeRequestError
+            With the wire error code on error responses.
+        ServeError
+            On transport failures.
+        """
+        return self._result(self.request(op, params, dataset))
+
     def health(self) -> Dict[str, Any]:
         """The service's health snapshot (status + hosted datasets)."""
         return self._result(self.request("health"))

@@ -123,8 +123,20 @@ def parse_sweep(params: Dict[str, Any]) -> List[PreviewQuery]:
     return [parse_query({**shared, "n": n}) for n in ns]
 
 
-def _parse_mutation(params: Dict[str, Any]):
-    """Validate a ``mutate`` params dict into an apply-thunk factory input."""
+def parse_mutation(params: Dict[str, Any]):
+    """Validate a ``mutate`` params dict into ``(kind, fields)``.
+
+    ``kind`` is ``"entity"`` (fields: ``(entity, types)``) or
+    ``"relationship"`` (fields: ``(source, target, name, source_type,
+    target_type)``).  Public because the workload replayers
+    (:mod:`repro.workload.replay`) interpret recorded mutation params
+    with exactly the wire semantics the service applies.
+
+    Raises
+    ------
+    ProtocolError
+        With code ``bad-request`` for a malformed params dict.
+    """
     kind = _require(params, "kind", str, "string")
     if kind == "entity":
         entity = _require(params, "entity", str, "string")
@@ -386,7 +398,7 @@ class EngineHost:
             Model/schema violations from the graph (mapped to
             ``invalid-query`` by the service).
         """
-        kind, fields = _parse_mutation(params)
+        kind, fields = parse_mutation(params)
 
         def apply() -> int:
             if kind == "entity":

@@ -1,0 +1,172 @@
+"""The differential conformance oracle.
+
+:func:`run_conformance` replays one trace through several execution
+paths (:data:`~repro.workload.replay.REPLAY_PATHS` by default) and
+compares the canonical payload digests op by op.  The paths differ in
+everything the engine stack is allowed to vary — caching, delta
+patching, process sharding, socket serving — and in nothing the paper's
+algorithms define, so any divergence is a bug: the report pinpoints the
+first diverging op and which paths disagree.
+
+The oracle also:
+
+* verifies every path against the digests *recorded in the trace*
+  (when present), so a committed golden trace pins behavior across
+  time, not just across paths in one run;
+* carries each path's closing accounting stats (engine ``cache_info``,
+  rescan verification, service counters) and wall-clock throughput —
+  the numbers ``benchmarks/bench_workload.py`` publishes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from ..exceptions import WorkloadError
+from .replay import REPLAY_PATHS, replay_trace
+from .trace import WorkloadTrace
+
+
+def run_conformance(
+    trace: WorkloadTrace,
+    paths: Sequence[str] = REPLAY_PATHS,
+    jobs: int = 2,
+    keep_payloads: bool = False,
+) -> Dict[str, Any]:
+    """Replay ``trace`` through ``paths`` and diff every payload.
+
+    Parameters
+    ----------
+    trace:
+        The workload to replay.
+    paths:
+        Execution paths to compare (at least one); order is preserved
+        in the report, and the first path is the comparison baseline.
+    jobs:
+        Worker processes for the ``sharded`` path.
+    keep_payloads:
+        Retain full payloads per path (for debugging a divergence).
+
+    Returns
+    -------
+    dict
+        The conformance report::
+
+            {
+              "trace": {...header...},
+              "paths": {path: {"seconds", "ops_per_sec", ...}},
+              "identical": bool,           # all paths agree at every op
+              "first_divergence": {...} | None,
+              "recorded_digests": {        # vs. digests in the trace
+                "present": bool,
+                "mismatches": {path: [[index, expected, actual], ...]},
+                "ok": bool,
+              },
+            }
+
+    Raises
+    ------
+    WorkloadError
+        For an empty path list, an unknown path, or a replay-side
+        accounting violation (the replayers raise mid-flight).
+    """
+    paths = list(paths)
+    if not paths:
+        raise WorkloadError("conformance needs at least one replay path")
+    results = {}
+    payloads = {}
+    for path in paths:
+        result = replay_trace(
+            trace,
+            path=path,
+            jobs=jobs,
+            verify_digests=True,
+            keep_payloads=keep_payloads,
+        )
+        results[path] = result
+        if keep_payloads:
+            payloads[path] = result.payloads
+
+    baseline = paths[0]
+    first_divergence: Optional[Dict[str, Any]] = None
+    for index, op in enumerate(trace.ops):
+        if op.op == "stats":
+            continue
+        reference = results[baseline].digests[index]
+        if all(results[path].digests[index] == reference for path in paths):
+            continue
+        first_divergence = {
+            "index": index,
+            "op": op.op,
+            "params": op.params,
+            "digests": {path: results[path].digests[index] for path in paths},
+        }
+        break
+
+    recorded_mismatches = {
+        path: [list(entry) for entry in results[path].digest_mismatches]
+        for path in paths
+        if results[path].digest_mismatches
+    }
+    report: Dict[str, Any] = {
+        "trace": trace.header(),
+        "paths": {
+            path: {
+                "seconds": round(results[path].seconds, 4),
+                "ops_per_sec": round(results[path].ops_per_second, 2),
+                "ops": results[path].ops,
+                "reads": results[path].reads,
+                "mutations": results[path].mutations,
+                "stats": results[path].stats,
+            }
+            for path in paths
+        },
+        "baseline": baseline,
+        "identical": first_divergence is None,
+        "first_divergence": first_divergence,
+        "recorded_digests": {
+            "present": trace.has_digests(),
+            "mismatches": recorded_mismatches,
+            "ok": not recorded_mismatches,
+        },
+    }
+    if keep_payloads:
+        report["payloads"] = payloads
+    return report
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """A compact human-readable rendering of a conformance report."""
+    dataset = report["trace"]["dataset"]
+    lines = [
+        f"workload conformance on {dataset['domain']} "
+        f"(scale={dataset['scale']}, seed={dataset['seed']}, "
+        f"ops={report['trace']['ops']})"
+    ]
+    for path, stats in report["paths"].items():
+        lines.append(
+            f"  {path:<12} {stats['ops_per_sec']:>9.2f} ops/s  "
+            f"({stats['seconds']:.3f}s, {stats['reads']} reads, "
+            f"{stats['mutations']} mutations)"
+        )
+    if report["identical"]:
+        lines.append("  payloads: bit-identical across all paths")
+    else:
+        divergence = report["first_divergence"]
+        lines.append(
+            f"  DIVERGENCE at op #{divergence['index']} "
+            f"({divergence['op']} {divergence['params']}):"
+        )
+        for path, digest in divergence["digests"].items():
+            lines.append(f"    {path:<12} {digest}")
+    recorded = report["recorded_digests"]
+    if recorded["present"]:
+        if recorded["ok"]:
+            lines.append("  recorded digests: reproduced byte-for-byte")
+        else:
+            for path, mismatches in recorded["mismatches"].items():
+                lines.append(
+                    f"  recorded digests: {path} missed "
+                    f"{len(mismatches)} (first at op #{mismatches[0][0]})"
+                )
+    return "\n".join(lines)

@@ -142,6 +142,70 @@ class TestShardedExecutor:
             )
             assert serial == shared
 
+class TestShardBoundaries:
+    """Shard-boundary edge cases: empty input, 1-subset shards, n < jobs."""
+
+    def test_payloads_of_empty_subsets_is_total(self):
+        """Sharding zero subsets yields zero shards, not a ZeroDivisionError."""
+        snapshot = ScoringSnapshot(index={"A": 0}, weighted=((1.0,),))
+        executor = ShardedExecutor(JOBS)
+        assert executor._payloads(snapshot, [], cap=1) == []
+        assert executor.best_allocation(snapshot, [], 1) is None
+        assert executor.build_profiles(snapshot, [], cap=1) == []
+
+    @pytest.mark.parametrize("subset_count", [1, 2, 3, 5, 9])
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_no_shard_is_ever_empty(self, subset_count, jobs):
+        """Every shard carries >= 1 subset and they tile the input."""
+        snapshot = ScoringSnapshot(index={"A": 0}, weighted=((1.0,),))
+        subsets = [(f"T{i}",) for i in range(subset_count)]
+        payloads = ShardedExecutor(jobs)._payloads(snapshot, subsets, cap=1)
+        assert len(payloads) == min(jobs, subset_count)
+        rebuilt = []
+        expected_start = 0
+        for _, start, shard, _ in payloads:
+            assert shard, "empty shard"
+            assert start == expected_start  # contiguous, in order
+            expected_start += len(shard)
+            rebuilt.extend(shard)
+        assert rebuilt == subsets
+
+    def test_single_subset_runs_inline_without_a_pool(self):
+        """One subset = one shard: answered inline, no worker pool spun."""
+        snapshot = ScoringSnapshot(
+            index={"A": 0, "B": 1}, weighted=((5.0, 2.0), (4.0,))
+        )
+        with ShardedExecutor(JOBS) as executor:
+            best = executor.best_allocation(snapshot, [("A",)], extra_cap=1)
+            assert best == (7.0, 0)
+            payloads = executor.build_profiles(snapshot, [("A", "B")], cap=2)
+            assert len(payloads) == 1 and payloads[0] is not None
+            assert executor._pool is None, "degenerate shard spun up a pool"
+
+    def test_fewer_subsets_than_jobs_matches_serial(self, fig1_context):
+        """n < jobs must shard to n workers and stay bit-identical."""
+        pool = fig1_context.candidate_pool()
+        snapshot = ScoringSnapshot.from_pool(pool)
+        subsets = [(t,) for t in pool.eligible[:2]]
+        with ShardedExecutor(4) as executor:
+            payloads = executor.build_profiles(snapshot, subsets, cap=3)
+        assert len(payloads) == len(subsets)
+        for keys, payload in zip(subsets, payloads):
+            serial = build_allocation_profile(pool, keys, cap=3)
+            assert payload == (serial.picks, serial.cum, serial.cap)
+
+    def test_one_shard_all_infeasible_other_feasible(self):
+        """A shard whose every subset is infeasible reduces to the other's."""
+        snapshot = ScoringSnapshot(
+            index={"A": 0, "B": 1}, weighted=((), (3.0,))
+        )
+        with ShardedExecutor(2) as executor:
+            # Shard 1 = [("A",)] (empty Γ: infeasible), shard 2 = [("B",)].
+            best = executor.best_allocation(snapshot, [("A",), ("B",)], 1)
+        assert best == (3.0, 1)
+
+
+class TestSnapshot:
     def test_snapshot_ships_no_graph_objects(self, fig1_context):
         snapshot = ScoringSnapshot.from_pool(fig1_context.candidate_pool())
         assert all(isinstance(key, str) for key in snapshot.index)

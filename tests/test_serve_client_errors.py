@@ -1,0 +1,220 @@
+"""`ServeClient` transport/error paths, driven by a hostile fake server.
+
+The serve tests exercise the client against a well-behaved
+:class:`PreviewService`; these cover the other half of its contract —
+what it does when the *server* misbehaves: closing early, closing
+mid-frame, answering garbage, answering the wrong request id, or
+streaming a response far past the request-frame cap.  A scripted
+line-server stands in for the service so each failure shape is exact.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.exceptions import ServeError, ServeRequestError
+from repro.serve import MAX_FRAME_BYTES, ServeClient
+
+
+#: Script return value: send these bytes, then close the connection.
+CLOSE_AFTER = "close-after"
+
+
+@contextmanager
+def scripted_server(script):
+    """A TCP server answering one connection with scripted bytes.
+
+    ``script(line)`` maps each received request line to raw response
+    bytes; ``None`` closes the connection immediately, and a
+    ``(bytes, CLOSE_AFTER)`` pair sends the bytes *then* closes (the
+    mid-frame hang-up shape).
+    """
+    listener = socket.create_server(("127.0.0.1", 0))
+    port = listener.getsockname()[1]
+
+    def serve():
+        try:
+            conn, _ = listener.accept()
+        except OSError:
+            return  # listener closed at teardown before accept woke up
+        with conn:
+            reader = conn.makefile("rb")
+            while True:
+                line = reader.readline()
+                if not line:
+                    return
+                response = script(line)
+                if response is None:
+                    return
+                if isinstance(response, tuple):
+                    data, action = response
+                    conn.sendall(data)
+                    assert action == CLOSE_AFTER
+                    return
+                conn.sendall(response)
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    try:
+        yield port
+    finally:
+        listener.close()
+        thread.join(timeout=5)
+
+
+class TestServeClientErrors:
+    def test_server_closing_before_answering(self):
+        with scripted_server(lambda line: None) as port:
+            with ServeClient(port=port, timeout=5) as client:
+                with pytest.raises(ServeError, match="closed the connection"):
+                    client.health()
+
+    def test_server_closing_mid_frame(self):
+        with scripted_server(
+            lambda line: (b'{"id": 1, "ok"', CLOSE_AFTER)
+        ) as port:
+            with ServeClient(port=port, timeout=5) as client:
+                with pytest.raises(ServeError, match="mid-response"):
+                    client.health()
+
+    def test_read_timeout_becomes_serve_error(self):
+        """A silent server raises ServeError, not a raw socket.timeout.
+
+        (Bug surfaced by this suite: the read loop used to leak
+        ``TimeoutError`` through the documented ServeError contract.)
+        """
+
+        def stall(line):
+            return b""  # send nothing, keep the connection open
+
+        with scripted_server(stall) as port:
+            with ServeClient(port=port, timeout=0.3) as client:
+                with pytest.raises(ServeError, match="timed out"):
+                    client.health()
+
+    def test_undecodable_response(self):
+        with scripted_server(lambda line: b"not json at all\n") as port:
+            with ServeClient(port=port, timeout=5) as client:
+                with pytest.raises(ServeError, match="undecodable response"):
+                    client.health()
+
+    def test_non_object_response(self):
+        with scripted_server(lambda line: b"[1, 2, 3]\n") as port:
+            with ServeClient(port=port, timeout=5) as client:
+                with pytest.raises(ServeError, match="not an object"):
+                    client.health()
+
+    def test_response_id_mismatch(self):
+        def wrong_id(line):
+            return b'{"id": 999, "ok": true, "result": {}}\n'
+
+        with scripted_server(wrong_id) as port:
+            with ServeClient(port=port, timeout=5) as client:
+                with pytest.raises(ServeError, match="does not match"):
+                    client.health()
+
+    def test_explicit_request_id_is_echo_checked(self):
+        def echo(line):
+            request = json.loads(line)
+            return (
+                json.dumps({"id": request["id"], "ok": True, "result": {"fine": 1}})
+                .encode() + b"\n"
+            )
+
+        with scripted_server(echo) as port:
+            with ServeClient(port=port, timeout=5) as client:
+                response = client.request("health", request_id="custom-7")
+                assert response["id"] == "custom-7"
+
+    def test_error_response_without_error_object_defaults(self):
+        """A malformed error frame still raises a typed client error."""
+        with scripted_server(
+            lambda line: b'{"id": 1, "ok": false}\n'
+        ) as port:
+            with ServeClient(port=port, timeout=5) as client:
+                with pytest.raises(ServeRequestError) as excinfo:
+                    client.health()
+                assert excinfo.value.code == "internal"
+
+    def test_error_code_and_message_surface(self):
+        def refuse(line):
+            request = json.loads(line)
+            return (
+                json.dumps({
+                    "id": request["id"], "ok": False,
+                    "error": {"code": "overloaded", "message": "busy"},
+                }).encode() + b"\n"
+            )
+
+        with scripted_server(refuse) as port:
+            with ServeClient(port=port, timeout=5) as client:
+                with pytest.raises(ServeRequestError, match=r"\[overloaded\] busy"):
+                    client.preview(k=2, n=4)
+
+    def test_response_longer_than_frame_cap_is_assembled(self):
+        """Responses are uncapped: a >MAX_FRAME_BYTES line reads whole."""
+        padding = "x" * (MAX_FRAME_BYTES + 4096)
+
+        def huge(line):
+            request = json.loads(line)
+            return (
+                json.dumps({
+                    "id": request["id"], "ok": True,
+                    "result": {"padding": padding},
+                }).encode() + b"\n"
+            )
+
+        with scripted_server(huge) as port:
+            with ServeClient(port=port, timeout=15) as client:
+                assert client.health()["padding"] == padding
+
+    def test_call_unwraps_and_raises_like_the_convenience_methods(self):
+        def script(line):
+            request = json.loads(line)
+            if request["op"] == "health":
+                return (
+                    json.dumps({
+                        "id": request["id"], "ok": True, "result": {"a": 1},
+                    }).encode() + b"\n"
+                )
+            return (
+                json.dumps({
+                    "id": request["id"], "ok": False,
+                    "error": {"code": "unknown-op", "message": "nope"},
+                }).encode() + b"\n"
+            )
+
+        with scripted_server(script) as port:
+            with ServeClient(port=port, timeout=5) as client:
+                assert client.call("health") == {"a": 1}
+                with pytest.raises(ServeRequestError) as excinfo:
+                    client.call("stats")
+                assert excinfo.value.code == "unknown-op"
+
+    def test_send_after_peer_hangup_becomes_serve_error(self):
+        """The transport contract holds on the send half too.
+
+        (Bug surfaced in review: only the read side wrapped socket
+        errors, so the request after a server hang-up leaked a raw
+        BrokenPipeError through the documented ServeError contract.)
+        """
+        with scripted_server(lambda line: None) as port:
+            with ServeClient(port=port, timeout=5) as client:
+                with pytest.raises(ServeError):
+                    client.health()  # server hangs up on this one
+                # The peer is gone; keep writing until the kernel
+                # surfaces the broken pipe — it must arrive typed.
+                with pytest.raises(ServeError):
+                    for _ in range(50):
+                        client.health()
+
+    def test_close_is_idempotent(self):
+        with scripted_server(lambda line: None) as port:
+            client = ServeClient(port=port, timeout=5)
+            client.close()
+            client.close()

@@ -1,0 +1,86 @@
+"""Replay the committed golden workload trace through all four paths.
+
+``tests/data/workload_golden.jsonl`` is a captured mixed read/write
+session (Zipf-skewed hot queries, entity/relationship mutations,
+structural spikes, sweeps, stats probes, three interleaved clients)
+with the payload digest of every diffable op recorded at capture time.
+This test mirrors the ``docs/serving.md`` replay pattern one level up:
+every execution path must reproduce every recorded digest — i.e. the
+recorded payloads byte-for-byte — and all paths must agree with each
+other at every step.  If an algorithm, the scoring pipeline, the cache
+machinery or the domain generator drifts, this fails and the fixture
+must be deliberately re-captured.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.workload import (
+    REPLAY_PATHS,
+    WorkloadTrace,
+    replay_trace,
+    run_conformance,
+)
+
+GOLDEN = Path(__file__).resolve().parent / "data" / "workload_golden.jsonl"
+
+#: Worker count for the sharded path (CI pins REPRO_TEST_JOBS=2).
+JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+
+
+@pytest.fixture(scope="module")
+def golden() -> WorkloadTrace:
+    return WorkloadTrace.load(GOLDEN)
+
+
+def test_golden_trace_is_rich(golden):
+    """The fixture keeps covering every feature of the format."""
+    assert golden.domain == "architecture"
+    assert len(golden.ops) == 48
+    assert golden.has_digests()
+    assert golden.fingerprint is not None  # starting graph is pinned
+    kinds = {
+        op.params.get("kind") for op in golden.ops if op.op == "mutate"
+    }
+    assert kinds == {"entity", "relationship"}
+    assert any(op.op == "sweep" for op in golden.ops)
+    assert any(op.op == "stats" for op in golden.ops)
+    assert len({op.client for op in golden.ops}) >= 3
+    spikes = [
+        op
+        for op in golden.ops
+        if op.op == "mutate"
+        and any("WL SPIKE" in t for t in op.params.get("types", []))
+    ]
+    assert spikes, "the golden trace lost its structural spikes"
+
+
+@pytest.mark.parametrize("path", REPLAY_PATHS)
+def test_golden_digests_reproduce_on_every_path(golden, path):
+    """Each path alone reproduces the recorded payloads byte-for-byte."""
+    result = replay_trace(
+        golden,
+        path=path,
+        jobs=JOBS if path == "sharded" else 1,
+        verify_digests=True,
+    )
+    assert result.ops == len(golden.ops)
+    assert not result.digest_mismatches, (
+        f"{path} diverged from the recorded payloads at op(s) "
+        f"{[entry[0] for entry in result.digest_mismatches]}"
+    )
+
+
+def test_golden_conformance_across_paths(golden):
+    """The differential oracle agrees with itself across all four paths."""
+    report = run_conformance(golden, jobs=JOBS)
+    assert report["identical"], report["first_divergence"]
+    assert report["recorded_digests"]["ok"], report["recorded_digests"]
+    incremental = report["paths"]["incremental"]["stats"]
+    assert incremental["rescan_ok"] is True
+    # The warm engine actually got warm: hot queries repeated.
+    assert incremental["hits"] > 0

@@ -31,6 +31,7 @@ MODULES = (
     "repro.engine.query",
     "repro.store.triple_store",
     "repro.serve.protocol",
+    "repro.workload.generator",
 )
 
 
