@@ -1,0 +1,149 @@
+"""Batched-kernel benchmark — per-subset oracle vs columnar backends.
+
+Times the Theorem-3 scoring of one large clique group — the tight
+``d=3``, ``k=4`` point on the music domain, the most expensive
+qualifying-subset set of the Fig. 9 grid (~250k subsets) — three ways:
+
+* **oracle** — the retained per-subset heap merge, the seed behavior;
+* **python** — the always-available batched backend (stdlib primitives
+  over cap-trimmed columnar tails);
+* **numpy** — the optional vectorized backend over padded rectangles
+  (skipped, and recorded as such, when numpy is not installed).
+
+Each leg scores the *same* subset list at the same budget through the
+uniform :class:`~repro.kernel.KernelBackend` interface, and the winning
+``(score, subset_index)`` must be bit-identical across legs (``==`` on
+the index and ``float.hex`` on the score — no tolerance).  The floors
+are part of the record: numpy must clear ``NUMPY_FLOOR``x the oracle
+and pure python ``PYTHON_FLOOR``x.  Backends are single-threaded, so
+unlike ``bench_parallel`` there is no low-core excuse.
+
+The record lands in ``BENCH_kernel.json`` at the repo root.  Run
+directly (``PYTHONPATH=src python benchmarks/bench_kernel.py``) or
+through pytest (``pytest benchmarks/bench_kernel.py``).
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import domain_context  # noqa: E402
+
+from repro import kernel  # noqa: E402
+from repro.core.candidates import eligible_key_types  # noqa: E402
+from repro.core.constraints import (  # noqa: E402
+    DistanceConstraint,
+    SizeConstraint,
+)
+from repro.graph.cliques import k_cliques  # noqa: E402
+
+DOMAIN = "music"
+#: The expensive Fig. 9 point: tight d=3 at k=4 on music.
+K, N, D, MODE = 4, 14, 3, "tight"
+#: Required speedups over the per-subset oracle.
+NUMPY_FLOOR = 5.0
+PYTHON_FLOOR = 1.5
+RESULT_FILE = Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+
+
+def qualifying_subsets(context):
+    """The point's clique group, enumerated exactly as Alg. 3 does."""
+    key_pool = eligible_key_types(context)
+    distance = DistanceConstraint.from_mode(D, MODE)
+    oracle = context.schema.distance_oracle()
+
+    def adjacent(a, b):
+        return distance.pair_ok(oracle, a, b)
+
+    return k_cliques(key_pool, adjacent, K)
+
+
+def bench_leg(name, pool, subsets, extra_cap):
+    backend = kernel.get_backend(name)
+    start = time.perf_counter()
+    best = backend.best_allocation(backend.lower(pool), subsets, extra_cap)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return {
+        "backend": name,
+        "ms": round(elapsed_ms, 3),
+        "best_index": best[1],
+        "best_score_hex": best[0].hex(),
+    }
+
+
+def run_benchmark():
+    context = domain_context(DOMAIN)
+    pool = context.candidate_pool()  # shared precomputation, untimed
+    subsets = qualifying_subsets(context)
+    extra_cap = SizeConstraint(k=K, n=N).n - K
+
+    names = ["oracle", "python"]
+    numpy_available = "numpy" in kernel.available_backends()
+    if numpy_available:
+        names.append("numpy")
+    legs = [bench_leg(name, pool, subsets, extra_cap) for name in names]
+
+    oracle_leg = legs[0]
+    floors = {"python": PYTHON_FLOOR, "numpy": NUMPY_FLOOR}
+    for leg in legs[1:]:
+        leg["speedup"] = round(oracle_leg["ms"] / leg["ms"], 3)
+        leg["floor"] = floors[leg["backend"]]
+        leg["floor_met"] = leg["speedup"] >= leg["floor"]
+        leg["identical"] = (
+            leg["best_index"] == oracle_leg["best_index"]
+            and leg["best_score_hex"] == oracle_leg["best_score_hex"]
+        )
+
+    payload = {
+        "benchmark": "kernel",
+        "domain": DOMAIN,
+        "point": [K, N, D, MODE],
+        "subsets": len(subsets),
+        "extra_cap": extra_cap,
+        "numpy_available": numpy_available,
+        "identical": all(leg.get("identical", True) for leg in legs),
+        "floors_met": all(leg.get("floor_met", True) for leg in legs),
+        "legs": legs,
+    }
+    RESULT_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def check(payload):
+    assert payload["subsets"] > 200_000, (
+        f"the benchmark point shrank to {payload['subsets']} subsets; it "
+        "no longer stresses the kernel"
+    )
+    for leg in payload["legs"][1:]:
+        assert leg["identical"], (
+            f"{leg['backend']} diverged from the oracle: "
+            f"index {leg['best_index']} score {leg['best_score_hex']}"
+        )
+        assert leg["floor_met"], (
+            f"{leg['backend']} only {leg['speedup']:.2f}x the per-subset "
+            f"oracle (floor {leg['floor']}x): oracle "
+            f"{payload['legs'][0]['ms']:.0f} ms vs {leg['ms']:.0f} ms"
+        )
+
+
+def test_kernel_speedup(benchmark):
+    payload = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    check(payload)
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    print(json.dumps(result, indent=2, sort_keys=True))
+    check(result)
+    base = result["legs"][0]
+    for leg in result["legs"][1:]:
+        print(
+            f"{leg['backend']}: {leg['ms']:.0f} ms vs oracle "
+            f"{base['ms']:.0f} ms ({leg['speedup']:.2f}x, floor "
+            f"{leg['floor']}x), bit-identical winner"
+        )
+    if not result["numpy_available"]:
+        print("note: numpy not installed; only the python leg was timed")

@@ -38,6 +38,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from conftest import domain_context  # noqa: E402
 
+from repro import kernel  # noqa: E402
 from repro.core import apriori_discover, brute_force_discover  # noqa: E402
 from repro.core.constraints import (  # noqa: E402
     DistanceConstraint,
@@ -127,6 +128,8 @@ def run_benchmark():
         "domain": DOMAIN,
         "jobs": JOBS,
         "cpus": cpus,
+        "kernel_backend": kernel.backend_name(),
+        "dispatch_threshold": kernel.dispatch_threshold(),
         "speedup_floor": SPEEDUP_FLOOR,
         "speedup_met": all(leg["speedup"] >= SPEEDUP_FLOOR for leg in legs),
         "identical": all(not leg["mismatches"] for leg in legs),

@@ -28,6 +28,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from conftest import SCALE, SEED  # noqa: E402
 
+from repro import kernel  # noqa: E402
 from repro.workload import (  # noqa: E402
     ScenarioSpec,
     format_report,
@@ -86,6 +87,8 @@ def run_benchmark():
         "mutations": trace.mutation_count,
         "scenario": trace.scenario,
         "jobs": JOBS,
+        "kernel_backend": kernel.backend_name(),
+        "dispatch_threshold": kernel.dispatch_threshold(),
         "paths": paths,
         "identical": report["identical"],
         "first_divergence": report["first_divergence"],

@@ -22,7 +22,7 @@ from typing import Optional
 
 from ..scoring.preview_score import ScoringContext
 from .candidates import (
-    best_preview_for_keys,
+    batched_discover,
     eligible_key_types,
     sharded_discover,
 )
@@ -61,38 +61,14 @@ def apriori_discover(
     subsets = k_cliques(key_pool, adjacent, size.k, backend=clique_backend)
     if not subsets:
         return None
+    algorithm = f"apriori[{clique_backend}]"
     if (jobs != 1 or executor is not None) and len(subsets) > 1:
         return sharded_discover(
-            context,
-            size,
-            subsets,
-            jobs,
-            f"apriori[{clique_backend}]",
-            executor=executor,
+            context, size, subsets, jobs, algorithm, executor=executor
         )
-
-    best_score = float("-inf")
-    best_preview = None
-    examined = 0
-    for keys in subsets:
-        examined += 1
-        allocation = best_preview_for_keys(context, keys, size)
-        if allocation is None:
-            continue
-        preview, score = allocation
-        if score > best_score:
-            best_score = score
-            best_preview = preview
-    if best_preview is None:
-        return None
-    return DiscoveryResult(
-        preview=best_preview,
-        score=best_score,
-        algorithm=f"apriori[{clique_backend}]",
-        key_scorer=context.key_scorer_name,
-        nonkey_scorer=context.nonkey_scorer_name,
-        candidates_examined=examined,
-    )
+    # Serial ComputePreview, batch-at-a-time: one kernel call scores the
+    # whole clique group instead of a per-subset merge (bit-identical).
+    return batched_discover(context, size, subsets, algorithm)
 
 
 @register_discovery_algorithm(

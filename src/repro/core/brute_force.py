@@ -18,6 +18,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Optional
 
+from .. import kernel
 from ..scoring.preview_score import ScoringContext
 from .candidates import (
     best_preview_for_keys,
@@ -66,31 +67,65 @@ def brute_force_discover(
         if distance is None or distance.keys_ok(oracle, keys)
     )
     if jobs != 1 or executor is not None:
-        qualifying = list(qualifying)
-        if len(qualifying) > 1:
-            return sharded_discover(
-                context, size, qualifying, jobs, "brute-force", executor=executor
-            )
-        # 0 or 1 qualifying subsets: fall through to the serial scan over
-        # the already-filtered list rather than re-enumerating.
+        # Imported lazily: jobs=1 callers never touch the parallel
+        # subsystem.
+        from ..parallel import resolve_jobs
 
+        # C(K, k) bounds the qualifying count before anything is
+        # materialized: small key pools skip the worker pool outright.
+        estimate = kernel.estimated_subsets(len(key_pool), size.k)
+        effective_jobs = (
+            executor.jobs if executor is not None else resolve_jobs(jobs)
+        )
+        if kernel.should_shard(estimate, effective_jobs):
+            qualifying = list(qualifying)
+            if len(qualifying) > 1:
+                return sharded_discover(
+                    context,
+                    size,
+                    qualifying,
+                    jobs,
+                    "brute-force",
+                    executor=executor,
+                )
+            # 0 or 1 qualifying subsets: fall through to the serial scan
+            # over the already-filtered list rather than re-enumerating.
+
+    # Serial path: stream the combination generator through the batched
+    # kernel in bounded chunks (the enumeration can be astronomically
+    # larger than memory), keeping the first strict maximum across
+    # chunks — the same lowest-index tie-break as the old scan.
+    pool = context.candidate_pool()
+    extra_cap = size.n - size.k
     best_score = float("-inf")
-    best_preview = None
+    best_keys = None
     examined = 0
+    chunk = []
+    append = chunk.append
     for keys in qualifying:
-        examined += 1
-        allocation = best_preview_for_keys(context, keys, size)
-        if allocation is None:
+        append(keys)
+        if len(chunk) < kernel.BATCH_SIZE:
             continue
-        preview, score = allocation
-        if score > best_score:
-            best_score = score
-            best_preview = preview
-    if best_preview is None:
+        best = kernel.best_allocation(pool, chunk, extra_cap)
+        examined += len(chunk)
+        if best is not None and best[0] > best_score:
+            best_score, best_keys = best[0], chunk[best[1]]
+        chunk = []
+        append = chunk.append
+    if chunk:
+        best = kernel.best_allocation(pool, chunk, extra_cap)
+        examined += len(chunk)
+        if best is not None and best[0] > best_score:
+            best_score, best_keys = best[0], chunk[best[1]]
+    if best_keys is None:
         return None
+    allocation = best_preview_for_keys(context, best_keys, size)
+    if allocation is None:  # pragma: no cover - kernel said feasible
+        return None
+    preview, score = allocation
     return DiscoveryResult(
-        preview=best_preview,
-        score=best_score,
+        preview=preview,
+        score=score,
         algorithm="brute-force",
         key_scorer=context.key_scorer_name,
         nonkey_scorer=context.nonkey_scorer_name,

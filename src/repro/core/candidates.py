@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 from typing import List, Optional, Sequence, Tuple
 
+from .. import kernel
 from ..exceptions import UnknownTypeError
 from ..model.ids import TypeId
 from ..scoring.candidate_pool import CandidatePool
@@ -166,6 +167,39 @@ def best_preview_for_keys(
     return profile.preview_at(pool, extra_cap), profile.score_at(extra_cap)
 
 
+def batched_discover(
+    context: ScoringContext,
+    size: SizeConstraint,
+    subsets: Sequence[Tuple[TypeId, ...]],
+    algorithm: str,
+) -> Optional[DiscoveryResult]:
+    """:class:`DiscoveryResult` from one serial batched-kernel evaluation.
+
+    Scores every subset in a single :func:`repro.kernel.best_allocation`
+    call against the live candidate pool and materializes only the
+    winner — the batch-at-a-time replacement for the per-subset
+    "ComputePreview each, keep the max" loops.  Every subset counts as
+    examined, and the kernel's lowest-index tie-break matches the serial
+    strict-``>`` scan, so results are bit-identical to the seed loops.
+    """
+    pool = context.candidate_pool()
+    best = kernel.best_allocation(pool, subsets, size.n - size.k)
+    if best is None:
+        return None
+    allocation = best_preview_for_keys(context, subsets[best[1]], size)
+    if allocation is None:  # pragma: no cover - kernel said feasible
+        return None
+    preview, score = allocation
+    return DiscoveryResult(
+        preview=preview,
+        score=score,
+        algorithm=algorithm,
+        key_scorer=context.key_scorer_name,
+        nonkey_scorer=context.nonkey_scorer_name,
+        candidates_examined=len(subsets),
+    )
+
+
 def sharded_best_preview(
     context: ScoringContext,
     size: SizeConstraint,
@@ -217,7 +251,20 @@ def sharded_discover(
     ``brute_force_discover``: every subset counts as examined (the
     serial loops score each qualifying subset), and the result carries
     the caller's ``algorithm`` label.
+
+    Small batches never reach the worker pool: below the dispatch
+    threshold (see :mod:`repro.kernel.plan`) one serial kernel call is
+    cheaper than a single snapshot pickle round-trip, so the evaluation
+    runs inline regardless of ``jobs``.
     """
+    if executor is not None:
+        effective_jobs = executor.jobs
+    else:
+        from ..parallel import resolve_jobs
+
+        effective_jobs = resolve_jobs(jobs)
+    if not kernel.should_shard(len(subsets), effective_jobs):
+        return batched_discover(context, size, subsets, algorithm)
     allocation = sharded_best_preview(
         context, size, subsets, jobs, executor=executor
     )

@@ -43,6 +43,7 @@ from __future__ import annotations
 import logging
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from .. import kernel
 from ..core.apriori import _registered_apriori as _builtin_apriori_runner
 from ..core.branch_bound import branch_and_bound_discover as _builtin_branch_bound
 from ..core.brute_force import brute_force_discover as _builtin_brute_force
@@ -188,6 +189,12 @@ class PreviewEngine:
         self._invalidations = 0
         self._retained = 0
         self._evicted = 0
+        #: Batched-kernel dispatches made on behalf of this engine's
+        #: queries (captured as deltas of the process-wide kernel
+        #: counters around each execution, so nested discovery calls and
+        #: parent-side sharded dispatches are all attributed here).
+        self._kernel_batches = 0
+        self._kernel_subsets = 0
 
     # ------------------------------------------------------------------
     # State
@@ -220,7 +227,7 @@ class PreviewEngine:
         self._eligible_deps = None
         self._invalidations += 1
 
-    def cache_info(self) -> Dict[str, int]:
+    def cache_info(self) -> Dict[str, object]:
         """Hit/miss/size counters (for tests, benches and ops).
 
         Synchronizes with the tracked source first, so a mutation is
@@ -231,7 +238,11 @@ class PreviewEngine:
         type-scoped one (mutation-changelog sources, delta-capable
         scorers) evicts only entries whose dependency set intersects the
         dirty types.  ``invalidations`` counts the *full* cache drops
-        only.
+        only.  ``kernel_backend`` names the active scoring-kernel
+        backend and ``kernel_batches``/``kernel_subsets`` count the
+        batched kernel dispatches (and subsets they scored) made on
+        behalf of this engine — every value except ``kernel_backend``
+        is an int.
         """
         self._sync_generation()
         return {
@@ -243,6 +254,9 @@ class PreviewEngine:
             "invalidations": self._invalidations,
             "retained": self._retained,
             "evicted": self._evicted,
+            "kernel_backend": kernel.backend_name(),
+            "kernel_batches": self._kernel_batches,
+            "kernel_subsets": self._kernel_subsets,
         }
 
     def _sync_generation(self) -> None:
@@ -511,7 +525,11 @@ class PreviewEngine:
         # Count the miss only once the execution produced an answer
         # (feasible or memoized-infeasible); an algorithm that raises
         # mid-flight must not skew the statistics of retried queries.
+        before = kernel.kernel_stats()
         result = self._execute(spec, query, jobs=jobs, executor=executor)
+        after = kernel.kernel_stats()
+        self._kernel_batches += after["batches"] - before["batches"]
+        self._kernel_subsets += after["subsets"] - before["subsets"]
         self._misses += 1
         self._results[cache_key] = result
         if self._track_deps:
@@ -605,22 +623,7 @@ class PreviewEngine:
         the same flat score arrays, so the profiles are bit-identical to
         a serial build (see :mod:`repro.parallel`).
         """
-        group_key = (size.k, distance.d, distance.mode.value)
-        subsets = self._subsets.get(group_key)
-        if subsets is None:
-            key_pool = eligible_key_types(context)
-            oracle = context.schema.distance_oracle()
-
-            def adjacent(a: TypeId, b: TypeId) -> bool:
-                return distance.pair_ok(oracle, a, b)
-
-            subsets = list(
-                k_cliques(key_pool, adjacent, size.k, backend="apriori")
-            )
-            self._subsets[group_key] = subsets
-            self._group_deps[group_key] = frozenset(
-                type_name for keys in subsets for type_name in keys
-            )
+        group_key, subsets = self._group_subsets(context, size, distance)
 
         extra_cap = size.n - size.k
         profiles = self._patch_stale_profiles(context, group_key, subsets)
@@ -630,7 +633,9 @@ class PreviewEngine:
             return profiles
         pool = context.candidate_pool()
         cap = extra_cap if profiles is None else None  # 2nd build: exhaustive
-        if executor is not None and executor.jobs > 1 and len(subsets) > 1:
+        if executor is not None and kernel.should_shard(
+            len(subsets), executor.jobs
+        ):
             snapshot = self._current_snapshot(pool)
             profiles = [
                 None
@@ -652,6 +657,36 @@ class PreviewEngine:
             ]
         self._profiles[group_key] = profiles
         return profiles
+
+    def _group_subsets(
+        self,
+        context: ScoringContext,
+        size: SizeConstraint,
+        distance: DistanceConstraint,
+    ) -> Tuple[Tuple, List[Tuple[TypeId, ...]]]:
+        """The ``(k, d, mode)`` group key and its qualifying subsets.
+
+        Enumerated once per generation, in the ``apriori_discover``
+        clique order so score ties resolve identically everywhere the
+        group is read (profile scans and batched kernel calls alike).
+        """
+        group_key = (size.k, distance.d, distance.mode.value)
+        subsets = self._subsets.get(group_key)
+        if subsets is None:
+            key_pool = eligible_key_types(context)
+            oracle = context.schema.distance_oracle()
+
+            def adjacent(a: TypeId, b: TypeId) -> bool:
+                return distance.pair_ok(oracle, a, b)
+
+            subsets = list(
+                k_cliques(key_pool, adjacent, size.k, backend="apriori")
+            )
+            self._subsets[group_key] = subsets
+            self._group_deps[group_key] = frozenset(
+                type_name for keys in subsets for type_name in keys
+            )
+        return group_key, subsets
 
     def _patch_stale_profiles(
         self,
@@ -707,33 +742,71 @@ class PreviewEngine:
         distance: DistanceConstraint,
         executor: Optional["ShardedExecutor"] = None,
     ) -> Optional[DiscoveryResult]:
-        """Answer one tight/diverse point from the shared profiles.
+        """Answer one tight/diverse point from the group's shared state.
 
         Produces the same :class:`DiscoveryResult` (preview, score and
         bookkeeping) as :func:`repro.core.apriori.apriori_discover`.
+
+        Two regimes, chosen by whether the group's allocation profiles
+        exist (a sweep prewarmed them):
+
+        * **profiles cached** — scan their cumulative-score prefixes,
+          the sweep fast path;
+        * **one-shot point** — score the whole group in one batched
+          kernel call (sharded over the executor above the dispatch
+          threshold) and build only the winner's profile.  Building
+          per-subset profiles for a single budget would cost more than
+          the answer; a later sweep still gets them via its prewarm.
         """
         validate_constraints(size, distance, eligible_key_types(context))
-        profiles = self._apriori_profiles(context, size, distance, executor=executor)
-        if not profiles:
+        group_key, subsets = self._group_subsets(context, size, distance)
+        if not subsets:
             return None
         extra_cap = size.n - size.k
-        best_score = _NEG_INF
-        best: Optional[AllocationProfile] = None
-        for profile in profiles:
-            if profile is None:
-                continue
-            score = profile.score_at(extra_cap)
-            if score > best_score:
-                best_score = score
-                best = profile
-        if best is None:
-            return None
+        if group_key in self._profiles:
+            profiles = self._apriori_profiles(
+                context, size, distance, executor=executor
+            )
+            best_score = _NEG_INF
+            best: Optional[AllocationProfile] = None
+            for profile in profiles:
+                if profile is None:
+                    continue
+                score = profile.score_at(extra_cap)
+                if score > best_score:
+                    best_score = score
+                    best = profile
+            if best is None:
+                return None
+            pool = context.candidate_pool()
+            return DiscoveryResult(
+                preview=best.preview_at(pool, extra_cap),
+                score=best_score,
+                algorithm="apriori[apriori]",
+                key_scorer=context.key_scorer_name,
+                nonkey_scorer=context.nonkey_scorer_name,
+                candidates_examined=len(profiles),
+            )
         pool = context.candidate_pool()
+        if executor is not None and kernel.should_shard(
+            len(subsets), executor.jobs
+        ):
+            snapshot = self._current_snapshot(pool)
+            best_at = executor.best_allocation(snapshot, subsets, extra_cap)
+        else:
+            best_at = kernel.best_allocation(pool, subsets, extra_cap)
+        if best_at is None:
+            return None
+        winner = build_allocation_profile(
+            pool, subsets[best_at[1]], cap=extra_cap
+        )
+        if winner is None:  # pragma: no cover - kernel said feasible
+            return None
         return DiscoveryResult(
-            preview=best.preview_at(pool, extra_cap),
-            score=best_score,
+            preview=winner.preview_at(pool, extra_cap),
+            score=winner.score_at(extra_cap),
             algorithm="apriori[apriori]",
             key_scorer=context.key_scorer_name,
             nonkey_scorer=context.nonkey_scorer_name,
-            candidates_examined=len(profiles),
+            candidates_examined=len(subsets),
         )

@@ -86,6 +86,14 @@ class UnknownScorerError(ScoringError):
         self.available = available
 
 
+class KernelError(ScoringError):
+    """Errors raised by the batched scoring kernel (``repro.kernel``).
+
+    Raised when ``REPRO_KERNEL`` names an unknown backend, or when the
+    requested backend's optional dependency (numpy) is unavailable.
+    """
+
+
 class DiscoveryError(ReproError):
     """Errors raised by preview discovery (``repro.core``)."""
 

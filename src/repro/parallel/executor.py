@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 from typing import List, Optional, Sequence, Tuple
 
+from .. import kernel
 from ..core.candidates import build_allocation_profile
 from ..exceptions import DiscoveryError
 from ..model.ids import TypeId
@@ -52,33 +53,26 @@ def resolve_jobs(jobs: int) -> int:
 def _score_shard(payload) -> Optional[Tuple[float, int]]:
     """Best ``(score, global_subset_index)`` within one shard, or None.
 
-    Iterates in subset order with a strict ``>`` comparison, so the
-    shard-local winner is the lowest-index subset among equal scores —
-    the same rule the serial discovery loops apply.
+    The whole shard is one batched kernel call over the snapshot's
+    columns — the backend name travels in the payload, so workers run
+    the parent's backend under both ``fork`` and ``spawn``.  The kernel
+    keeps the lowest-index subset among equal scores (and treats
+    duplicate keys as infeasible), the same rules the serial discovery
+    loops apply.
     """
-    snapshot, start, subsets, extra_cap = payload
-    best_score = float("-inf")
-    best_index = -1
-    for offset, keys in enumerate(subsets):
-        if len(set(keys)) != len(keys):
-            # Mirrors best_preview_for_keys: duplicate keys cannot form a
-            # preview, and scoring one here would double-count its type.
-            continue
-        profile = build_allocation_profile(snapshot, keys, cap=extra_cap)
-        if profile is None:
-            continue
-        score = profile.score_at(extra_cap)
-        if score > best_score:
-            best_score = score
-            best_index = start + offset
-    if best_index < 0:
+    snapshot, start, subsets, extra_cap, backend_name = payload
+    backend = kernel.get_backend(backend_name)
+    best = backend.best_allocation(
+        backend.lower(snapshot), subsets, extra_cap
+    )
+    if best is None:
         return None
-    return best_score, best_index
+    return best[0], start + best[1]
 
 
 def _profile_shard(payload) -> List[ProfilePayload]:
     """Allocation-profile payloads for one shard, positionally aligned."""
-    snapshot, _start, subsets, cap = payload
+    snapshot, _start, subsets, cap, _backend_name = payload
     results: List[ProfilePayload] = []
     for keys in subsets:
         profile = build_allocation_profile(snapshot, keys, cap=cap)
@@ -168,13 +162,22 @@ class ShardedExecutor:
         """
         if not subsets:
             return []
+        backend_name = kernel.backend_name()
         shards = min(self.jobs, len(subsets))
         base, remainder = divmod(len(subsets), shards)
         payloads = []
         start = 0
         for shard in range(shards):
             size = base + (1 if shard < remainder else 0)
-            payloads.append((snapshot, start, list(subsets[start:start + size]), cap))
+            payloads.append(
+                (
+                    snapshot,
+                    start,
+                    list(subsets[start:start + size]),
+                    cap,
+                    backend_name,
+                )
+            )
             start += size
         return payloads
 
@@ -200,6 +203,10 @@ class ShardedExecutor:
         """
         if not subsets:
             return None
+        # Counted on the parent side: worker-process counters are
+        # invisible here, and the inline jobs=1 path must not double
+        # count (backends themselves never record).
+        kernel.record_batch(len(subsets))
         best: Optional[Tuple[float, int]] = None
         for shard_best in self._map(
             _score_shard, self._payloads(snapshot, subsets, extra_cap)

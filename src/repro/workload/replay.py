@@ -170,7 +170,8 @@ class _EngineAccounting:
         """
         info = engine.cache_info()
         for name, value in info.items():
-            if value < 0:
+            # Non-numeric entries (kernel_backend) carry no accounting.
+            if isinstance(value, int) and value < 0:
                 raise WorkloadError(
                     f"{self._path}: cache_info[{name!r}] went negative: {value}"
                 )

@@ -17,6 +17,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import kernel
 from repro.datasets.freebase_like import generate_domain
 from repro.serve import EngineHost, PreviewService, run_in_background
 
@@ -54,7 +55,11 @@ def test_serving_doc_examples_are_live():
     )
     server = run_in_background(PreviewService({DOC_DOMAIN: host}))
     try:
-        with socket.create_connection(
+        # The documented session was captured with the always-available
+        # python kernel backend pinned (REPRO_KERNEL=python): the stats
+        # response reports `kernel_backend`, which would otherwise vary
+        # with whether numpy happens to be installed.
+        with kernel.use_backend("python"), socket.create_connection(
             ("127.0.0.1", server.port), timeout=60
         ) as sock:
             reader = sock.makefile("rb")

@@ -364,11 +364,15 @@ class TestEngineCacheInvalidation:
         assert third is not first
 
     def test_distance_sweep_state_dropped_on_mutation(self, live):
+        # Sweeps (not one-shot queries) build the per-group profile
+        # state: one-shot queries answer through the batched kernel
+        # without materializing profiles.
         engine = live.engine()
-        engine.query(k=2, n=4, d=2, mode="tight")
+        point = [PreviewQuery(k=2, n=4, d=2, mode="tight")]
+        engine.sweep(point)
         assert engine.cache_info()["profile_groups"] == 1
         live.add_entity("genre0", ["GENRE"])
-        engine.query(k=2, n=4, d=2, mode="tight")
+        engine.sweep(point)
         info = engine.cache_info()
         assert info["generation"] == live.generation
         assert info["profile_groups"] == 1  # rebuilt for the new generation
@@ -389,7 +393,9 @@ class TestEngineCacheInvalidation:
         """
         engine = live.engine()
         engine.query(k=1, n=2)
-        engine.query(k=2, n=4, d=2, mode="tight")
+        # A sweep point, so the profile group exists (one-shot queries
+        # run the batched kernel and never materialize profiles).
+        engine.sweep([PreviewQuery(k=2, n=4, d=2, mode="tight")])
         live.add_entity("film-new", ["FILM"])
         info = engine.cache_info()  # no query ran since the mutation
         assert info["generation"] == live.generation

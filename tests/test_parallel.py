@@ -163,7 +163,7 @@ class TestShardBoundaries:
         assert len(payloads) == min(jobs, subset_count)
         rebuilt = []
         expected_start = 0
-        for _, start, shard, _ in payloads:
+        for _, start, shard, _, _backend in payloads:
             assert shard, "empty shard"
             assert start == expected_start  # contiguous, in order
             expected_start += len(shard)

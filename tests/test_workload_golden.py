@@ -19,6 +19,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import kernel
 from repro.workload import (
     REPLAY_PATHS,
     WorkloadTrace,
@@ -71,6 +72,44 @@ def test_golden_digests_reproduce_on_every_path(golden, path):
     assert result.ops == len(golden.ops)
     assert not result.digest_mismatches, (
         f"{path} diverged from the recorded payloads at op(s) "
+        f"{[entry[0] for entry in result.digest_mismatches]}"
+    )
+
+
+@pytest.mark.parametrize(
+    "backend",
+    [
+        "python",
+        pytest.param(
+            "numpy",
+            marks=pytest.mark.skipif(
+                "numpy" not in kernel.available_backends(),
+                reason="no numpy",
+            ),
+        ),
+    ],
+)
+@pytest.mark.parametrize("path", ["incremental", "sharded"])
+def test_golden_digests_reproduce_under_each_kernel_backend(
+    golden, path, backend
+):
+    """Kernel backends replay the recorded payloads digest-for-digest.
+
+    The trace was captured before the batched kernel existed, so every
+    digest match proves the kernel (python and numpy alike, serial and
+    sharded dispatch) is bit-identical to the original per-subset path
+    on a real mixed read/write session — not merely on unit fixtures.
+    """
+    with kernel.use_backend(backend):
+        result = replay_trace(
+            golden,
+            path=path,
+            jobs=JOBS if path == "sharded" else 1,
+            verify_digests=True,
+        )
+    assert result.ops == len(golden.ops)
+    assert not result.digest_mismatches, (
+        f"{path} under the {backend} backend diverged at op(s) "
         f"{[entry[0] for entry in result.digest_mismatches]}"
     )
 
