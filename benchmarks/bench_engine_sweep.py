@@ -137,7 +137,7 @@ def run_benchmark():
 
 def check(payload):
     assert payload["identical"], (
-        f"engine sweep diverged from per-call discovery at: "
+        "engine sweep diverged from per-call discovery at: "
         f"{payload['mismatches']}"
     )
     assert payload["speedup"] >= SPEEDUP_FLOOR, (

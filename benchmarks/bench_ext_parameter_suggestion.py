@@ -71,7 +71,6 @@ def test_ext_parameter_suggestion(benchmark):
         domain, budget, k, n, tight_d, diverse_d, outcome = row
         if budget != "flavour":
             assert outcome is True, row  # every suggested size discoverable
-        schema = domain_schema(domain)
         context = domain_context(domain)
         # Suggested distances admit previews (non-degenerate both ways).
         size = SizeConstraint(k=3, n=6)

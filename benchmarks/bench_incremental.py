@@ -166,7 +166,7 @@ def run_benchmark():
 
 def check(payload):
     assert not payload["mismatches"], (
-        f"delta-maintained results diverged from full rebuild at: "
+        "delta-maintained results diverged from full rebuild at: "
         f"{payload['mismatches']}"
     )
     assert payload["verified_against_rescan"], (
@@ -183,7 +183,7 @@ def check(payload):
     )
     assert retention["misses_gained"] == 0, (
         f"{retention['misses_gained']} sweep point(s) were re-executed "
-        f"after a mutation that touched no dependency"
+        "after a mutation that touched no dependency"
     )
     assert retention["evicted_gained"] == 0, "untouched entries were evicted"
     assert retention["full_invalidations_gained"] == 0, (

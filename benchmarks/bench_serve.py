@@ -237,7 +237,7 @@ def run_benchmark():
 
 def check(payload):
     assert payload["identical_to_direct_engine"], (
-        f"served previews diverged from direct PreviewEngine.run at "
+        "served previews diverged from direct PreviewEngine.run at "
         f"generations {payload['mismatches']}"
     )
     assert payload["speedup"] >= payload["speedup_floor"], (

@@ -5,7 +5,7 @@ vertices, 18M/136 edges).  We match schema sizes exactly and entity/edge
 counts scaled by 1000.
 """
 
-from conftest import SCALE, domain_graph
+from conftest import SCALE
 
 from repro.bench import format_table, write_result
 from repro.datasets import DOMAINS, FREEBASE_PROFILES, table2_row

@@ -76,7 +76,7 @@ def test_table04_pcc(benchmark):
             for domain, cells in rows.items()
         ],
         title=(
-            f"Table 4: PCC of key attribute scoring vs. simulated crowd "
+            "Table 4: PCC of key attribute scoring vs. simulated crowd "
             f"({DEFAULT_PAIRS} pairs x {DEFAULT_WORKERS_PER_PAIR} workers)"
         ),
     )

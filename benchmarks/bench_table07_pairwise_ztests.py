@@ -8,7 +8,6 @@ across domains; the full matrices are written to the results file.
 from conftest import GOLD_DOMAINS, user_study_for
 
 from repro.bench import write_result
-from repro.eval import APPROACHES
 
 TABLE_IDS = {"music": "7", "books": "13", "film": "14", "tv": "15", "people": "16"}
 
@@ -27,7 +26,7 @@ def test_tables_07_13_16_pairwise_ztests(benchmark):
         assert len(tests) == 21
         lines.append(
             f"\nTable {TABLE_IDS[domain]} (domain={domain}): "
-            f"z-score / one-tailed p-value, alpha=0.1"
+            "z-score / one-tailed p-value, alpha=0.1"
         )
         for (a, b), result in tests.items():
             marker = ""

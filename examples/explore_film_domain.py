@@ -44,7 +44,7 @@ def main():
     show(concise, graph, f"concise preview (k={K}, n={N})")
 
     tight = discover_preview(graph, k=K, n=N, d=2, mode="tight")
-    show(tight, graph, f"tight preview (d=2): keys huddle around the FILM hub")
+    show(tight, graph, "tight preview (d=2): keys huddle around the FILM hub")
 
     diverse = discover_preview(graph, k=K, n=N, d=4, mode="diverse")
     show(diverse, graph, "diverse preview (d=4): keys cover far-apart concepts")

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..graph import average_path_length, diameter
@@ -36,6 +36,7 @@ class DistributionSummary:
 
     @classmethod
     def of(cls, values: List[float]) -> "DistributionSummary":
+        """Summarize ``values`` into distribution statistics."""
         if not values:
             return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
         ordered = sorted(values)
@@ -86,6 +87,7 @@ class DatasetProfile:
     topology: SchemaTopology
 
     def top_types(self, count: int = 5) -> List[Tuple[str, int]]:
+        """The ``count`` most frequent types, most frequent first."""
         return sorted(
             self.type_populations.items(), key=lambda item: (-item[1], item[0])
         )[:count]

@@ -10,7 +10,7 @@ approaches uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..core.preview import Preview, PreviewTable
 from ..datasets.gold_standard import (

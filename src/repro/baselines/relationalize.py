@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..model.attributes import NonKeyAttribute
 from ..model.entity_graph import EntityGraph
@@ -37,6 +37,7 @@ class ColumnStats:
 
     @property
     def distinct_values(self) -> int:
+        """Number of distinct values recorded for this column."""
         return len(self.histogram)
 
 

@@ -11,7 +11,7 @@ remains well-defined on disconnected join graphs.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 from ...graph.distance import DistanceOracle
 from ...model.ids import TypeId
@@ -47,4 +47,5 @@ def distance_matrix(
 def table_distance(
     matrix: Dict[TypeId, Dict[TypeId, float]], a: TypeId, b: TypeId
 ) -> float:
+    """Distance between tables ``a`` and ``b`` under ``matrix``."""
     return matrix[a][b]

@@ -64,9 +64,11 @@ class YPS09Summarizer:
 
     @property
     def tables(self) -> Dict[TypeId, RelationalTable]:
+        """Mapping of type id to its relational table."""
         return self._tables
 
     def importance(self) -> Dict[TypeId, float]:
+        """Copy of the per-table importance scores."""
         return dict(self._importance)
 
     def ranked_types(self) -> List[TypeId]:

@@ -9,12 +9,15 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
+
+from .. import config
 
 PathLike = Union[str, os.PathLike]
 
-#: Environment variable overriding the results directory.
-RESULTS_ENV = "REPRO_RESULTS_DIR"
+#: Environment variable overriding the results directory (declared in
+#: :mod:`repro.config`).
+RESULTS_ENV = config.RESULTS_DIR.name
 
 
 def results_dir() -> Path:
@@ -23,7 +26,7 @@ def results_dir() -> Path:
     Defaults to ``<repo>/results`` (two levels above this package when it
     is an editable install) or ``./results`` otherwise; always created.
     """
-    override = os.environ.get(RESULTS_ENV)
+    override = config.results_dir_override()
     if override:
         path = Path(override)
     else:
@@ -43,6 +46,7 @@ def write_result(name: str, content: str) -> Path:
 
 
 def append_result(name: str, content: str) -> Path:
+    """Append one block to an experiment artifact; returns its path."""
     path = results_dir() / name
     with path.open("a", encoding="utf-8") as handle:
         handle.write(content.rstrip() + "\n")

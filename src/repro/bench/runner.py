@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable
 
 #: The paper averages execution time across 3 runs and floors at 1 ms.
 DEFAULT_RUNS = 3

@@ -53,6 +53,7 @@ from .exceptions import ReproError
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-preview`` query argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-preview",
         description="Generate preview tables for an entity graph.",
@@ -167,6 +168,7 @@ def _run_sweep(engine: PreviewEngine, args: argparse.Namespace, d, mode) -> int:
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``repro-preview serve`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-preview serve",
         description=(
@@ -296,6 +298,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
 
 
 def build_workload_parser() -> argparse.ArgumentParser:
+    """The ``repro-preview workload`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-preview workload",
         description=(
@@ -443,12 +446,22 @@ def workload_main(argv: Optional[List[str]] = None) -> int:
         return 1
 
 
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-preview lint``."""
+    from .lint import main as run_lint
+
+    return run_lint(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-preview``: dispatch subcommands, run queries."""
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
     if argv and argv[0] == "workload":
         return workload_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

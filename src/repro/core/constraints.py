@@ -31,11 +31,12 @@ class SizeConstraint:
             raise InvalidConstraintError(f"k must be at least 1, got {self.k}")
         if self.n < self.k:
             raise InvalidConstraintError(
-                f"n must be at least k (every table needs one non-key "
+                "n must be at least k (every table needs one non-key "
                 f"attribute); got k={self.k}, n={self.n}"
             )
 
     def satisfied_by(self, preview: Preview) -> bool:
+        """Whether ``preview`` meets the k (tables) and n (attrs) bounds."""
         return (
             preview.table_count == self.k
             and preview.attribute_count <= self.n
@@ -67,10 +68,12 @@ class DistanceConstraint:
 
     @classmethod
     def tight(cls, d: int) -> "DistanceConstraint":
+        """A tight-mode distance constraint at distance ``d``."""
         return cls(d=d, mode=DistanceMode.TIGHT)
 
     @classmethod
     def diverse(cls, d: int) -> "DistanceConstraint":
+        """A diverse-mode distance constraint at distance ``d``."""
         return cls(d=d, mode=DistanceMode.DIVERSE)
 
     @classmethod
@@ -99,6 +102,7 @@ class DistanceConstraint:
         return True
 
     def satisfied_by(self, oracle: DistanceOracle, preview: Preview) -> bool:
+        """Whether the keys of ``preview`` satisfy the distance bound."""
         return self.keys_ok(oracle, preview.keys())
 
 

@@ -65,7 +65,7 @@ def make_context(
             data, key_scorer=key_scorer, nonkey_scorer=nonkey_scorer
         )
     raise DiscoveryError(
-        f"expected EntityGraph, SchemaGraph or ScoringContext, "
+        "expected EntityGraph, SchemaGraph or ScoringContext, "
         f"got {type(data).__name__}"
     )
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from ..exceptions import DiscoveryError
 from ..model.attributes import NonKeyAttribute
@@ -32,6 +32,7 @@ class MaterializedRow:
     values: Tuple[FrozenSet[EntityId], ...]
 
     def value_for(self, index: int) -> FrozenSet[EntityId]:
+        """The entity-id set shown at row ``index``."""
         return self.values[index]
 
 
@@ -45,6 +46,7 @@ class MaterializedTable:
 
     @property
     def shown(self) -> int:
+        """Number of sample rows materialized."""
         return len(self.rows)
 
 

@@ -20,8 +20,9 @@ semantics and Alg. 3 agree.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, Sequence, Set, Tuple
 
+from ..exceptions import DiscoveryError
 from ..model.ids import RelationshipTypeId
 from ..model.schema_graph import SchemaGraph
 from ..scoring.preview_score import ScoringContext
@@ -81,7 +82,7 @@ def diverse_reduction_schema(
     schema.add_entity_type(HUB, entity_count=1)
     for vertex in vertices:
         if vertex == HUB:
-            raise ValueError(f"vertex name collides with hub sentinel: {vertex!r}")
+            raise DiscoveryError(f"vertex name collides with hub sentinel: {vertex!r}")
         schema.add_entity_type(vertex, entity_count=1)
         schema.add_relationship_type(_rel(HUB, vertex), edge_count=1)
     present = _normalize(edges)

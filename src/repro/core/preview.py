@@ -12,7 +12,7 @@ construction so the discovery algorithms can pass them around freely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..exceptions import DiscoveryError
@@ -31,7 +31,7 @@ class PreviewTable:
         if not self.nonkey:
             raise DiscoveryError(
                 f"preview table {self.key!r} must have at least one non-key "
-                f"attribute (Definition 1)"
+                "attribute (Definition 1)"
             )
         if len(set(self.nonkey)) != len(self.nonkey):
             raise DiscoveryError(
@@ -64,18 +64,20 @@ class Preview:
         keys = [table.key for table in self.tables]
         if len(set(keys)) != len(keys):
             raise DiscoveryError(
-                f"preview tables must have pairwise-distinct key attributes; "
+                "preview tables must have pairwise-distinct key attributes; "
                 f"got {keys}"
             )
 
     @classmethod
     def of(cls, *tables: PreviewTable) -> "Preview":
+        """Build a preview from ``tables``, in order."""
         return cls(tables=tuple(tables))
 
     @classmethod
     def from_pairs(
         cls, pairs: Iterable[Tuple[TypeId, Iterable[NonKeyAttribute]]]
     ) -> "Preview":
+        """Build a preview from (key, non-key attributes) pairs."""
         return cls(
             tables=tuple(
                 PreviewTable(key=key, nonkey=tuple(attrs)) for key, attrs in pairs
@@ -93,9 +95,11 @@ class Preview:
         return sum(table.width for table in self.tables)
 
     def keys(self) -> List[TypeId]:
+        """The key attribute of each table, in table order."""
         return [table.key for table in self.tables]
 
     def table_for(self, key: TypeId) -> Optional[PreviewTable]:
+        """The table keyed by ``key``, or None."""
         for table in self.tables:
             if table.key == key:
                 return table
@@ -128,6 +132,7 @@ class DiscoveryResult:
     candidates_examined: int = 0
 
     def summary(self) -> Dict[str, object]:
+        """JSON-ready shape/size summary of this preview."""
         return {
             "algorithm": self.algorithm,
             "score": self.score,

@@ -57,6 +57,7 @@ class AlgorithmSpec:
     notes: str = ""
 
     def supports(self, shape: str) -> bool:
+        """Whether this algorithm handles constraint ``shape``."""
         return shape in self.shapes
 
     def run(
@@ -65,6 +66,7 @@ class AlgorithmSpec:
         size: SizeConstraint,
         distance: Optional[DistanceConstraint] = None,
     ) -> Optional[DiscoveryResult]:
+        """Invoke the registered runner on (context, size, distance)."""
         return self.runner(context, size, distance)
 
 
@@ -86,15 +88,15 @@ def register_discovery_algorithm(
     so test doubles can shadow and restore built-ins.
     """
     if not name:
-        raise ValueError("algorithm name must be non-empty")
+        raise DiscoveryError("algorithm name must be non-empty")
     unknown = set(shapes) - set(CONSTRAINT_SHAPES)
     if unknown:
-        raise ValueError(
+        raise DiscoveryError(
             f"unknown constraint shapes {sorted(unknown)}; "
             f"valid shapes: {', '.join(CONSTRAINT_SHAPES)}"
         )
     if not shapes:
-        raise ValueError(f"algorithm {name!r} must support at least one shape")
+        raise DiscoveryError(f"algorithm {name!r} must support at least one shape")
 
     def decorator(runner: AlgorithmRunner) -> AlgorithmRunner:
         DISCOVERY_ALGORITHMS[name] = AlgorithmSpec(

@@ -9,7 +9,7 @@ as ``{a, b}``; empty cells render as ``-`` (as in Fig. 2's ``t3.Genres``).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..model.entity_graph import EntityGraph
 from .materialize import (

@@ -19,7 +19,7 @@ a stable, versioned wire format.  The format is plain JSON:
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 from ..exceptions import DiscoveryError
 from ..model.attributes import Direction, NonKeyAttribute
@@ -31,6 +31,7 @@ FORMAT_VERSION = 1
 
 
 def attribute_to_dict(attribute: NonKeyAttribute) -> Dict[str, str]:
+    """JSON-ready mapping for one non-key attribute."""
     rel = attribute.rel_type
     return {
         "name": rel.name,
@@ -41,6 +42,7 @@ def attribute_to_dict(attribute: NonKeyAttribute) -> Dict[str, str]:
 
 
 def attribute_from_dict(data: Dict[str, Any]) -> NonKeyAttribute:
+    """Inverse of :func:`attribute_to_dict`."""
     try:
         rel = RelationshipTypeId(
             name=data["name"],
@@ -54,6 +56,7 @@ def attribute_from_dict(data: Dict[str, Any]) -> NonKeyAttribute:
 
 
 def preview_to_dict(preview: Preview) -> Dict[str, Any]:
+    """JSON-ready, versioned mapping for ``preview``."""
     return {
         "version": FORMAT_VERSION,
         "tables": [
@@ -67,6 +70,7 @@ def preview_to_dict(preview: Preview) -> Dict[str, Any]:
 
 
 def preview_from_dict(data: Dict[str, Any]) -> Preview:
+    """Inverse of :func:`preview_to_dict`; validates the version."""
     version = data.get("version")
     if version != FORMAT_VERSION:
         raise DiscoveryError(
@@ -89,10 +93,12 @@ def preview_from_dict(data: Dict[str, Any]) -> Preview:
 
 
 def preview_to_json(preview: Preview, indent: int = 2) -> str:
+    """Serialize ``preview`` to deterministic sorted-key JSON."""
     return json.dumps(preview_to_dict(preview), indent=indent, sort_keys=True)
 
 
 def preview_from_json(text: str) -> Preview:
+    """Parse JSON ``text`` back into a :class:`Preview`."""
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -114,6 +120,7 @@ def result_to_dict(result: DiscoveryResult) -> Dict[str, Any]:
 
 
 def result_from_dict(data: Dict[str, Any]) -> DiscoveryResult:
+    """Rebuild a :class:`DiscoveryResult` from its JSON mapping."""
     preview = preview_from_dict(data)
     meta = data.get("discovery")
     if not isinstance(meta, dict):

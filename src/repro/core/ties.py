@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 from itertools import combinations
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..scoring.preview_score import ScoringContext
 from .candidates import best_preview_for_keys, eligible_key_types

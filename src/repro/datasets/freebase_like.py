@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from functools import lru_cache
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..exceptions import DatasetError
 from ..model.entity_graph import EntityGraph

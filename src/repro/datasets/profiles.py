@@ -18,7 +18,7 @@ ranking being trivially perfect.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from .gold_standard import GOLD_STANDARD
@@ -55,17 +55,21 @@ class DomainProfile:
     named_relationships: Tuple[NamedRelationship, ...]
 
     def scaled_entities(self, scale: int = DEFAULT_SCALE) -> int:
+        """Entity count at ``scale`` (floored at 3 per type)."""
         return max(self.entity_type_count * 3, self.paper_entities // scale)
 
     def scaled_relationships(self, scale: int = DEFAULT_SCALE) -> int:
+        """Relationship-instance count at ``scale``."""
         return max(
             self.relationship_type_count * 4, self.paper_relationships // scale
         )
 
     def filler_type_count(self) -> int:
+        """Synthetic entity types needed beyond the named ones."""
         return self.entity_type_count - len(self.named_types)
 
     def filler_relationship_count(self) -> int:
+        """Synthetic relationship types needed beyond the named ones."""
         return self.relationship_type_count - len(self.named_relationships)
 
 

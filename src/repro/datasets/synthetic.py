@@ -8,7 +8,7 @@ users who want quick synthetic workloads with controlled shape.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..exceptions import DatasetError
 from ..model.entity_graph import EntityGraph

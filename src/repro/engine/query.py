@@ -120,8 +120,8 @@ class PreviewQuery:
             if not axis:
                 raise DiscoveryError(
                     f"grid axis {name!r} is empty — a sweep over zero points "
-                    f"is almost certainly a bug (exhausted generator or "
-                    f"empty range?)"
+                    "is almost certainly a bug (exhausted generator or "
+                    "empty range?)"
                 )
 
         def points() -> Iterator["PreviewQuery"]:

@@ -42,6 +42,7 @@ class CrowdStudy:
 
     @property
     def total_opinions(self) -> int:
+        """Total votes cast across all comparison pairs."""
         return sum(a + b for a, b in self.votes)
 
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, List, Tuple, Union
 
 from ..baselines.schema_graph_baseline import present_schema_graph
 from ..baselines.yps09.summarizer import YPS09Summary
@@ -33,10 +33,12 @@ Fact = Union[Tuple[str, TypeId], Tuple[str, TypeId, str]]
 
 
 def type_fact(type_name: TypeId) -> Fact:
+    """The existence fact asserting ``type_name`` is shown."""
     return ("type", type_name)
 
 
 def attr_fact(type_name: TypeId, attr_name: str) -> Fact:
+    """The existence fact asserting an attribute of a type is shown."""
     return ("attr", type_name, attr_name)
 
 
@@ -52,9 +54,11 @@ class ApproachPresentation:
     full_coverage: bool
 
     def shows(self, fact: Fact) -> bool:
+        """Whether this preview exhibits ``fact``."""
         return fact in self.facts
 
     def shows_type(self, type_name: TypeId) -> bool:
+        """Whether this preview exhibits entity type ``type_name``."""
         return ("type", type_name) in self.facts
 
 

@@ -41,6 +41,7 @@ class ZTestResult:
 
     @property
     def significant(self) -> bool:
+        """Whether the p-value clears the alpha level."""
         return self.p_value < self.alpha
 
     @property

@@ -104,6 +104,7 @@ class LikertResponse:
     scores: Tuple[int, int, int, int]
 
     def score_for(self, question: str) -> int:
+        """The recorded 1-5 response for ``question``."""
         return self.scores[QUESTION_KEYS.index(question)]
 
 

@@ -28,7 +28,7 @@ import math
 import random
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..baselines.gold_tables import expert_preview, gold_preview
 from ..baselines.yps09.summarizer import YPS09Summarizer
@@ -38,7 +38,6 @@ from ..core.dynamic_prog import dynamic_programming_discover
 from ..datasets.freebase_like import load_domain, load_schema
 from ..datasets.gold_standard import gold_size_constraint
 from ..exceptions import EvaluationError
-from ..model.schema_graph import SchemaGraph
 from ..scoring.preview_score import ScoringContext
 from .existence import (
     ApproachPresentation,
@@ -99,16 +98,19 @@ class ApproachOutcome:
 
     @property
     def sample_size(self) -> int:
+        """Number of participants recorded."""
         return len(self.correct)
 
     @property
     def conversion_rate(self) -> float:
+        """Fraction of participants who answered correctly."""
         if not self.correct:
             return 0.0
         return sum(self.correct) / len(self.correct)
 
     @property
     def median_time(self) -> float:
+        """Median task-completion time (0.0 when no times recorded)."""
         if not self.times:
             return 0.0
         return statistics.median(self.times)
@@ -129,6 +131,7 @@ class UserStudyResult:
         }
 
     def median_times(self) -> Dict[str, float]:
+        """Median completion time per study condition."""
         return {name: outcome.median_time for name, outcome in self.outcomes.items()}
 
     def time_ranking(self) -> List[str]:

@@ -148,6 +148,23 @@ class WorkloadError(ReproError):
     """
 
 
+class ConfigError(ReproError):
+    """Errors raised by the environment-knob registry (``repro.config``).
+
+    Raised when code reads an undeclared ``REPRO_*`` variable or a
+    declared knob carries a malformed value.
+    """
+
+
+class LintError(ReproError):
+    """Errors raised by the static invariant checker (``repro.lint``).
+
+    Covers unreadable inputs, malformed suppression files and invalid
+    rule registrations — not lint *findings*, which are data
+    (:class:`repro.lint.Finding`), never exceptions.
+    """
+
+
 class EvaluationError(ReproError):
     """Errors raised by the evaluation harness (``repro.eval``)."""
 

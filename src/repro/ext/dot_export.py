@@ -9,7 +9,7 @@ emphasized — the visual language of the paper's Fig. 3 annotations.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, Optional
 
 from ..core.preview import Preview
 from ..model.schema_graph import SchemaGraph

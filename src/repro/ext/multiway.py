@@ -24,14 +24,13 @@ This module supplies those mechanics:
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ModelError
-from ..model.attributes import Direction, NonKeyAttribute
+from ..model.attributes import NonKeyAttribute
 from ..model.entity_graph import EntityGraph
-from ..model.ids import EntityId, RelationshipTypeId, TypeId
+from ..model.ids import EntityId, TypeId
 from ..model.schema_graph import SchemaGraph
 
 #: Upper bound on a mediator entity's total degree: CVT nodes are small
@@ -49,6 +48,7 @@ class MediatorProfile:
 
     @property
     def arity(self) -> int:
+        """Number of roles in this multi-way relationship."""
         return len(self.roles)
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.preview import Preview, PreviewTable
@@ -41,6 +41,7 @@ class NumericSummary:
     maximum: float = -math.inf
 
     def add(self, value: float) -> None:
+        """Fold one value into the running aggregates."""
         self.count += 1
         self.total += value
         self.total_sq += value * value
@@ -49,12 +50,14 @@ class NumericSummary:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
         if self.count == 0:
             return 0.0
         return self.total / self.count
 
     @property
     def variance(self) -> float:
+        """Population variance (0.0 when empty)."""
         if self.count == 0:
             return 0.0
         m = self.mean
@@ -62,6 +65,7 @@ class NumericSummary:
 
     @property
     def stddev(self) -> float:
+        """Population standard deviation."""
         return math.sqrt(self.variance)
 
 
@@ -94,9 +98,11 @@ class NumericAttributeStore:
             self._summaries[(type_name, name)].add(numeric)
 
     def values(self, entity: EntityId, name: str) -> List[float]:
+        """Recorded values for ``(entity, name)``."""
         return list(self._values.get((entity, name), ()))
 
     def summary(self, type_name: TypeId, name: str) -> Optional[NumericSummary]:
+        """Aggregate summary for ``(type_name, name)``, or None."""
         return self._summaries.get((type_name, name))
 
     def candidates(self, type_name: TypeId) -> List[Tuple[str, NumericSummary]]:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..core.apriori import apriori_discover
 from ..core.constraints import DistanceConstraint, SizeConstraint
@@ -56,6 +56,7 @@ class SizeSuggestion:
     display_cols: int
 
     def as_constraint(self) -> SizeConstraint:
+        """This suggestion as a :class:`SizeConstraint`."""
         return SizeConstraint(k=self.k, n=self.n)
 
 
@@ -127,6 +128,7 @@ class FlavourRecommendation:
     diverse_retention: float
 
     def recommended_result(self) -> DiscoveryResult:
+        """The discovery result matching the recommendation."""
         if self.recommendation == "tight" and self.tight is not None:
             return self.tight
         if self.recommendation == "diverse" and self.diverse is not None:

@@ -20,7 +20,7 @@ approximation to the optimal selection under the gain function.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..core.materialize import (
     DEFAULT_SAMPLE_SIZE,
@@ -48,6 +48,7 @@ class SelectionDiagnostics:
 
     @property
     def fill_ratio(self) -> float:
+        """Fraction of preview cells that are non-empty."""
         if self.total_cells == 0:
             return 0.0
         return self.non_empty_cells / self.total_cells
@@ -107,9 +108,7 @@ def select_representative_tuples(
                 if (idx, value) not in covered:
                     gain += NEW_VALUE_WEIGHT
             gain += PROMINENCE_WEIGHT * prominence[entity] / max_prominence
-            # Lexically *smaller* names win ties -> use negated string
-            # trick via tuple comparison on (gain, -name) equivalent.
-            key = (gain, entity)
+            # Lexically *smaller* names win ties.
             if gain > best_gain[0] or (
                 gain == best_gain[0] and entity < best_gain[1]
             ):

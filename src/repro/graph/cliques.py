@@ -13,7 +13,7 @@ them, mirroring that discussion.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Hashable, Iterator, List, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Hashable, List, Sequence, Tuple
 
 from ..exceptions import GraphError
 

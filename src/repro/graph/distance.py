@@ -54,6 +54,7 @@ class DistanceOracle:
         return self.distance(u, v) >= d
 
     def nodes(self) -> List[Node]:
+        """Nodes present in the distance table."""
         return list(self._table)
 
     def matrix(self) -> Dict[Node, Dict[Node, int]]:

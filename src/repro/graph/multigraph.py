@@ -14,7 +14,7 @@ makes successor/predecessor scans O(out-degree) and edge insertion O(1).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
 
 from ..exceptions import EdgeNotFoundError, NodeNotFoundError
 
@@ -49,6 +49,7 @@ class DirectedMultigraph:
             self._pred[node] = {}
 
     def has_node(self, node: Node) -> bool:
+        """Whether ``node`` is in the graph."""
         return node in self._succ
 
     def remove_node(self, node: Node) -> None:
@@ -67,10 +68,12 @@ class DirectedMultigraph:
         del self._pred[node]
 
     def nodes(self) -> Iterator[Node]:
+        """Iterator over nodes in insertion order."""
         return iter(self._succ)
 
     @property
     def node_count(self) -> int:
+        """Number of nodes."""
         return len(self._succ)
 
     # ------------------------------------------------------------------
@@ -96,6 +99,7 @@ class DirectedMultigraph:
         return source in self._succ and target in self._succ[source]
 
     def remove_edge(self, source: Node, target: Node, key: EdgeKey) -> None:
+        """Remove the edge identified by ``(source, target, key)``."""
         try:
             label_map = self._succ[source][target]
             del label_map[key]
@@ -113,6 +117,7 @@ class DirectedMultigraph:
 
     @property
     def edge_count(self) -> int:
+        """Number of edges."""
         return self._edge_count
 
     def edges(self) -> Iterator[Tuple[Node, Node, EdgeKey, object]]:
@@ -134,11 +139,13 @@ class DirectedMultigraph:
     # Adjacency
     # ------------------------------------------------------------------
     def successors(self, node: Node) -> Iterator[Node]:
+        """Iterator over out-neighbors of ``node``, in insertion order."""
         if node not in self._succ:
             raise NodeNotFoundError(node)
         return iter(self._succ[node])
 
     def predecessors(self, node: Node) -> Iterator[Node]:
+        """Iterator over in-neighbors of ``node``, in insertion order."""
         if node not in self._pred:
             raise NodeNotFoundError(node)
         return iter(self._pred[node])
@@ -170,11 +177,13 @@ class DirectedMultigraph:
                 yield source, key, label
 
     def out_degree(self, node: Node) -> int:
+        """Number of outgoing edges of ``node``."""
         if node not in self._succ:
             raise NodeNotFoundError(node)
         return sum(len(keyed) for keyed in self._succ[node].values())
 
     def in_degree(self, node: Node) -> int:
+        """Number of incoming edges of ``node``."""
         if node not in self._pred:
             raise NodeNotFoundError(node)
         return sum(len(keyed) for keyed in self._pred[node].values())
@@ -187,6 +196,7 @@ class DirectedMultigraph:
     # Convenience
     # ------------------------------------------------------------------
     def copy(self) -> "DirectedMultigraph":
+        """Independent copy of the graph structure."""
         clone = DirectedMultigraph()
         for node in self.nodes():
             clone.add_node(node)

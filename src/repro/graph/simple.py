@@ -31,16 +31,20 @@ class UndirectedGraph:
         self._adj: Dict[Node, Dict[Node, float]] = {}
 
     def add_node(self, node: Node) -> None:
+        """Add ``node`` (idempotent)."""
         self._adj.setdefault(node, {})
 
     def has_node(self, node: Node) -> bool:
+        """Whether ``node`` is in the graph."""
         return node in self._adj
 
     def nodes(self) -> Iterator[Node]:
+        """Iterator over nodes in insertion order."""
         return iter(self._adj)
 
     @property
     def node_count(self) -> int:
+        """Number of nodes."""
         return len(self._adj)
 
     def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
@@ -55,6 +59,7 @@ class UndirectedGraph:
             self._adj[v][u] = self._adj[v].get(u, 0.0) + weight
 
     def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether edge ``u``-``v`` exists."""
         return u in self._adj and v in self._adj[u]
 
     def weight(self, u: Node, v: Node) -> float:
@@ -67,6 +72,7 @@ class UndirectedGraph:
 
     @property
     def edge_count(self) -> int:
+        """Number of undirected edges (self-loops counted once)."""
         loops = sum(1 for node in self._adj if node in self._adj[node])
         non_loops = sum(len(nbrs) for nbrs in self._adj.values()) - loops
         return non_loops // 2 + loops
@@ -84,11 +90,13 @@ class UndirectedGraph:
                 yield u, v, weight
 
     def neighbors(self, node: Node) -> Iterator[Node]:
+        """Iterator over neighbors of ``node``, in insertion order."""
         if node not in self._adj:
             raise NodeNotFoundError(node)
         return iter(self._adj[node])
 
     def degree(self, node: Node) -> int:
+        """Number of edges incident to ``node``."""
         if node not in self._adj:
             raise NodeNotFoundError(node)
         return len(self._adj[node])
@@ -100,6 +108,7 @@ class UndirectedGraph:
         return sum(self._adj[node].values())
 
     def subgraph(self, nodes: Iterable[Node]) -> "UndirectedGraph":
+        """Induced subgraph on ``nodes`` (unknown names ignored)."""
         keep = {node for node in nodes if node in self._adj}
         sub = UndirectedGraph()
         for node in keep:

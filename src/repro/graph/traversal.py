@@ -9,7 +9,7 @@ hops (edges are unweighted for distance purposes).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Union
+from typing import Dict, Hashable, Iterator, List, Optional, Union
 
 from ..exceptions import NodeNotFoundError
 from .multigraph import DirectedMultigraph

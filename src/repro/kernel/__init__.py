@@ -24,10 +24,10 @@ lowest-index tie-break — see ``docs/scoring-kernel.md``.
 from __future__ import annotations
 
 import importlib.util
-import os
 from contextlib import contextmanager
 from typing import Dict, Iterator, Tuple
 
+from .. import config
 from ..exceptions import KernelError
 from .base import (
     BATCH_SIZE,
@@ -69,8 +69,10 @@ __all__ = [
     "use_backend",
 ]
 
-#: Environment variable naming the backend to activate on first use.
-ENV_BACKEND = "REPRO_KERNEL"
+#: Environment variable naming the backend to activate on first use
+#: (declared in :mod:`repro.config`; kept here for callers that
+#: reference the name when spawning subprocesses).
+ENV_BACKEND = config.KERNEL.name
 
 _CACHE: Dict[str, KernelBackend] = {}
 _active = None
@@ -128,8 +130,7 @@ def active_backend() -> KernelBackend:
     """The process-wide backend, resolving ``REPRO_KERNEL`` on first use."""
     global _active
     if _active is None:
-        requested = os.environ.get(ENV_BACKEND, "auto").strip().lower()
-        _active = get_backend(requested or "auto")
+        _active = get_backend(config.kernel_backend())
     return _active
 
 

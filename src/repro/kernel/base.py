@@ -127,9 +127,11 @@ class OracleBackend(KernelBackend):
     def lower(self, source):
         # build_allocation_profile reads index/weighted/attrs directly;
         # both pool and snapshot already expose them.
+        """Identity lowering: the oracle reads source columns directly."""
         return source
 
     def best_allocation(self, columns, subsets, extra_cap):
+        """Best allocation per subset via the retained per-subset path."""
         from ..core.candidates import build_allocation_profile
 
         best_score = float("-inf")
@@ -149,6 +151,7 @@ class OracleBackend(KernelBackend):
         return best_score, best_at
 
     def batch_scores(self, columns, subsets, extra_cap):
+        """Score each subset via the retained per-subset path."""
         from ..core.candidates import build_allocation_profile
 
         scores: List[Optional[float]] = []

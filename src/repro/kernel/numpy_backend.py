@@ -75,6 +75,7 @@ class NumpyBackend(KernelBackend):
     name = "numpy"
 
     def lower(self, source) -> NumpyColumns:
+        """Lower source columns to padded numpy rectangles."""
         return NumpyColumns(source.index, source.weighted)
 
     # ------------------------------------------------------------------
@@ -160,6 +161,7 @@ class NumpyBackend(KernelBackend):
     # KernelBackend surface
     # ------------------------------------------------------------------
     def best_allocation(self, columns, subsets, extra_cap):
+        """Vectorized best-allocation over the whole batch."""
         if not subsets:
             return None
         scores = self._scores_array(columns, subsets, extra_cap)
@@ -173,6 +175,7 @@ class NumpyBackend(KernelBackend):
         return score, position
 
     def batch_scores(self, columns, subsets, extra_cap):
+        """Vectorized scores for every subset in the batch."""
         if not subsets:
             return []
         scores = self._scores_array(columns, subsets, extra_cap)

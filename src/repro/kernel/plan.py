@@ -25,10 +25,12 @@ from __future__ import annotations
 import math
 import os
 
+from .. import config
 from ..exceptions import KernelError
 
-#: Environment override for the sharding crossover point.
-ENV_THRESHOLD = "REPRO_DISPATCH_THRESHOLD"
+#: Environment override for the sharding crossover point (declared in
+#: :mod:`repro.config`; the name is kept here for subprocess spawners).
+ENV_THRESHOLD = config.DISPATCH_THRESHOLD.name
 
 #: Below this many subsets, process-pool dispatch costs more than the
 #: serial kernel call it would replace (measured on the bench-mixed
@@ -38,7 +40,7 @@ DEFAULT_DISPATCH_THRESHOLD = 4096
 
 def dispatch_threshold() -> int:
     """The effective sharding threshold (env override or default)."""
-    raw = os.environ.get(ENV_THRESHOLD)
+    raw = config.raw_knob(ENV_THRESHOLD)
     if raw is None:
         return DEFAULT_DISPATCH_THRESHOLD
     try:

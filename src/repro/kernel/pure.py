@@ -43,6 +43,7 @@ class PythonColumns:
         self._tails: Dict[int, Tuple[Tuple[float, ...], ...]] = {}
 
     def tails(self, cap: int) -> Tuple[Tuple[float, ...], ...]:
+        """Cached per-column tail-sum table for allocation cap ``cap``."""
         cached = self._tails.get(cap)
         if cached is None:
             cached = tuple(
@@ -59,9 +60,11 @@ class PythonBackend(KernelBackend):
     name = "python"
 
     def lower(self, source) -> PythonColumns:
+        """Lower source columns to the stdlib batched layout."""
         return PythonColumns(source.index, source.weighted)
 
     def best_allocation(self, columns, subsets, extra_cap):
+        """Batched best-allocation using stdlib-only arithmetic."""
         index = columns.index
         tops = columns.tops
         tails = columns.tails(extra_cap) if extra_cap > 0 else None
@@ -101,6 +104,7 @@ class PythonBackend(KernelBackend):
         return best_score, best_at
 
     def batch_scores(self, columns, subsets, extra_cap):
+        """Batched subset scores using stdlib-only arithmetic."""
         index = columns.index
         tops = columns.tops
         tails = columns.tails(extra_cap) if extra_cap > 0 else None

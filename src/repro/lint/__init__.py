@@ -1,0 +1,67 @@
+"""Static invariant checker for the repro codebase.
+
+One AST pass per file enforces the contracts the repo's correctness
+story rests on — determinism of the scoring core, lazy confinement of
+optional dependencies, the structured-error policy at public boundaries,
+event-loop hygiene in the serve tier, and single-registry discipline for
+algorithms, scorers and environment knobs.  See
+``docs/static-analysis.md`` for the rule catalog and the history behind
+each rule.
+
+Programmatic surface::
+
+    from repro.lint import lint_paths, lint_source, Finding
+
+    findings = lint_paths(["src"])          # scoped rules, one pass/file
+    for finding in findings:
+        print(finding.format())
+
+CLI: ``repro-preview lint [paths...]`` or ``python -m repro.lint``.
+Grandfathered findings live in ``lint-suppressions.txt`` (stale entries
+are themselves findings, so the file only ever shrinks).
+"""
+
+from .analysis import (
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name_for,
+    rule_catalog,
+)
+from .findings import PARSE_ERROR_ID, STALE_SUPPRESSION_ID, Finding
+from .registry import (
+    LINT_RULES,
+    LintRule,
+    register_lint_rule,
+    rules_for_module,
+    unregister_lint_rule,
+)
+from .suppressions import (
+    Suppression,
+    apply_suppressions,
+    load_suppressions,
+    parse_suppressions,
+)
+from . import rules as _rules  # noqa: F401  (imports register the rules)
+from .cli import main
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "LINT_RULES",
+    "PARSE_ERROR_ID",
+    "STALE_SUPPRESSION_ID",
+    "Suppression",
+    "apply_suppressions",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_suppressions",
+    "main",
+    "module_name_for",
+    "parse_suppressions",
+    "register_lint_rule",
+    "rule_catalog",
+    "rules_for_module",
+    "unregister_lint_rule",
+]

@@ -1,0 +1,278 @@
+"""The single-pass analyzer: one AST walk per file, all rules at once.
+
+:func:`lint_file` parses a file, derives its dotted module name (or
+accepts an override — how the fixture corpus places snippets inside a
+scoped subtree), instantiates every in-scope rule checker, and walks the
+tree exactly once.  The walker maintains the structural context rules
+need — enclosing function/class stacks, async-ness, handler nesting —
+in a :class:`FileContext` passed to every ``check`` call, so no rule
+ever re-traverses the tree.
+
+:func:`lint_paths` extends this over files and directory trees, skipping
+fixture corpora (any directory named ``data``) and caches/VCS internals.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from ..exceptions import LintError
+from .findings import PARSE_ERROR_ID, Finding
+from .registry import LINT_RULES, LintRule, rules_for_module
+
+#: Directory names never descended into by :func:`lint_paths`.  ``data``
+#: covers fixture corpora (``tests/data/lint`` holds deliberate
+#: violations the self-tests lint explicitly, with module overrides).
+SKIPPED_DIRS = frozenset(
+    {"data", "__pycache__", ".git", ".hypothesis", ".pytest_cache", "results"}
+)
+
+#: Top-level trees whose files map to dotted modules without an ``src``
+#: marker (``tests/test_x.py`` -> ``tests.test_x``).
+_BARE_TREES = ("tests", "benchmarks", "examples", "tools", "docs")
+
+
+def module_name_for(path: "str | Path") -> str:
+    """The dotted module name a file would import as.
+
+    ``src/<pkg>/...`` maps through the last ``src`` marker
+    (``src/repro/core/apriori.py`` -> ``repro.core.apriori``); the
+    repo's script trees map from their root (``tools/check_docs.py`` ->
+    ``tools.check_docs``); anything else maps to its bare stem.
+    ``__init__`` components are dropped, so a package file scopes as the
+    package itself.
+    """
+    parts = PurePosixPath(Path(path).as_posix()).parts
+    anchor: Optional[int] = None
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "src":
+            anchor = index + 1
+            break
+    if anchor is None:
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] in _BARE_TREES:
+                anchor = index
+                break
+    rel = parts[anchor:] if anchor is not None else parts[-1:]
+    pieces = [piece[:-3] if piece.endswith(".py") else piece for piece in rel]
+    if pieces and pieces[-1] == "__init__":
+        pieces = pieces[:-1]
+    return ".".join(pieces)
+
+
+class FileContext:
+    """Per-file state shared by every rule during the single AST pass.
+
+    Attributes
+    ----------
+    path:
+        The file's path as reported in findings (posix separators).
+    module:
+        The dotted module name used for rule scoping.
+    function_stack:
+        Enclosing ``FunctionDef``/``AsyncFunctionDef`` nodes, outermost
+        first (updated by the walker as it descends).
+    class_stack:
+        Enclosing ``ClassDef`` nodes, outermost first.
+    tree:
+        The parsed module, for rules that need module-level structure.
+    """
+
+    def __init__(self, path: str, module: str, tree: ast.Module) -> None:
+        self.path = path
+        self.module = module
+        self.tree = tree
+        self.function_stack: List[ast.AST] = []
+        self.class_stack: List[ast.ClassDef] = []
+
+    def in_async_function(self) -> bool:
+        """Whether the *innermost* enclosing function is ``async def``.
+
+        A synchronous ``def`` nested inside an ``async def`` (the
+        worker-thread closure idiom) answers False: its body runs off
+        the event loop.
+        """
+        if not self.function_stack:
+            return False
+        return isinstance(self.function_stack[-1], ast.AsyncFunctionDef)
+
+    def at_module_level(self) -> bool:
+        """Whether the walker is outside any function body."""
+        return not self.function_stack
+
+    def in_public_api(self) -> bool:
+        """Whether the enclosing def/class chain is all public names.
+
+        Module-level code counts as public; any ``_underscore`` function
+        or class on the stack makes the location private.
+        """
+        for node in self.function_stack:
+            if getattr(node, "name", "_").startswith("_"):
+                return False
+        for cls in self.class_stack:
+            if cls.name.startswith("_"):
+                return False
+        return True
+
+
+class _Walker:
+    """Depth-first traversal dispatching nodes to interested checkers."""
+
+    def __init__(self, ctx: FileContext, rules: Sequence[LintRule]) -> None:
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        self._checkers: List[Tuple[LintRule, object]] = [
+            (rule, rule.checker()) for rule in rules
+        ]
+        self._interested: Dict[Type, List[Tuple[LintRule, object]]] = {}
+        for rule, checker in self._checkers:
+            for node_type in checker.interests:
+                self._interested.setdefault(node_type, []).append((rule, checker))
+
+    def walk(self, node: ast.AST) -> None:
+        for rule, checker in self._interested.get(type(node), ()):
+            for where, message, hint in checker.check(node, self.ctx):
+                self.findings.append(
+                    Finding(
+                        path=self.ctx.path,
+                        line=getattr(where, "lineno", 1),
+                        rule_id=rule.rule_id,
+                        message=message,
+                        hint=hint,
+                    )
+                )
+        is_function = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        is_class = isinstance(node, ast.ClassDef)
+        if is_function:
+            self.ctx.function_stack.append(node)
+        if is_class:
+            self.ctx.class_stack.append(node)
+        try:
+            for child in ast.iter_child_nodes(node):
+                self.walk(child)
+        finally:
+            if is_function:
+                self.ctx.function_stack.pop()
+            if is_class:
+                self.ctx.class_stack.pop()
+
+
+def lint_source(
+    source: str,
+    path: str,
+    module: Optional[str] = None,
+    rules: Optional[Iterable[LintRule]] = None,
+) -> List[Finding]:
+    """Lint python ``source`` attributed to ``path``.
+
+    ``module`` overrides the derived dotted name — the fixture corpus
+    uses this to place snippets inside scoped subtrees (a file on disk
+    under ``tests/data/lint`` can lint as if it were
+    ``repro.core.sample``).  ``rules`` restricts the run to an explicit
+    rule set (default: every registered rule in scope).
+
+    Returns the findings sorted by ``(path, line, rule_id)``; an
+    unparseable file yields a single :data:`PARSE_ERROR_ID` finding.
+    """
+    module_name = module if module is not None else module_name_for(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                rule_id=PARSE_ERROR_ID,
+                message=f"file does not parse: {exc.msg}",
+                hint="fix the syntax error; no other rule ran on this file",
+            )
+        ]
+    if rules is None:
+        in_scope: Sequence[LintRule] = rules_for_module(module_name)
+    else:
+        in_scope = [rule for rule in rules if rule.applies_to(module_name)]
+    ctx = FileContext(path=path, module=module_name, tree=tree)
+    walker = _Walker(ctx, in_scope)
+    walker.walk(tree)
+    return sorted(walker.findings)
+
+
+def lint_file(
+    path: "str | Path",
+    module: Optional[str] = None,
+    rules: Optional[Iterable[LintRule]] = None,
+) -> List[Finding]:
+    """Lint one file from disk (see :func:`lint_source`).
+
+    Raises
+    ------
+    LintError
+        When the file cannot be read.
+    """
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise LintError(f"cannot read {file_path}: {exc}") from exc
+    return lint_source(
+        source, path=file_path.as_posix(), module=module, rules=rules
+    )
+
+
+def iter_python_files(paths: Sequence["str | Path"]) -> List[Path]:
+    """Every ``.py`` file under ``paths``, in sorted order.
+
+    Directories are walked recursively, skipping :data:`SKIPPED_DIRS`
+    and hidden directories; explicit file arguments are taken verbatim
+    (even a fixture under a ``data`` directory).
+
+    Raises
+    ------
+    LintError
+        For an argument that is neither a file nor a directory.
+    """
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                relative = candidate.relative_to(path)
+                if any(
+                    part in SKIPPED_DIRS or part.startswith(".")
+                    for part in relative.parts[:-1]
+                ):
+                    continue
+                files.append(candidate)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    return sorted(set(files))
+
+
+def lint_paths(
+    paths: Sequence["str | Path"],
+    rules: Optional[Iterable[LintRule]] = None,
+) -> List[Finding]:
+    """Lint every python file under ``paths``; findings sorted globally."""
+    findings: List[Finding] = []
+    rule_list = None if rules is None else list(rules)
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules=rule_list))
+    return sorted(findings)
+
+
+def rule_catalog() -> List[Dict[str, object]]:
+    """JSON-ready summaries of every registered rule, sorted by id."""
+    return [
+        {
+            "rule_id": rule.rule_id,
+            "name": rule.name,
+            "description": rule.description,
+            "modules": list(rule.modules),
+            "exclude": list(rule.exclude),
+        }
+        for rule_id, rule in sorted(LINT_RULES.items())
+    ]

@@ -1,0 +1,120 @@
+"""Command-line entry point: ``repro-preview lint`` / ``python -m repro.lint``.
+
+Exit codes: 0 when no active findings remain after suppression, 1 when
+findings (including stale suppressions) survive, 2 for usage/config
+errors (unreadable paths, malformed suppressions file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from ..exceptions import LintError
+from .analysis import lint_paths, rule_catalog
+from .suppressions import apply_suppressions, load_suppressions
+
+#: The trees ``repro-preview lint`` checks when invoked bare (mirrors
+#: the CI lint leg).
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
+
+DEFAULT_SUPPRESSIONS = "lint-suppressions.txt"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-preview lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-preview lint",
+        description=(
+            "Check the codebase's determinism, isolation and error-policy "
+            "contracts with one AST pass per file."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint (default: "
+            + " ".join(DEFAULT_PATHS)
+            + ", those that exist)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--suppressions",
+        default=DEFAULT_SUPPRESSIONS,
+        help=(
+            "suppressions file; missing file means no suppressions "
+            f"(default: {DEFAULT_SUPPRESSIONS})"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _default_paths() -> List[str]:
+    return [path for path in DEFAULT_PATHS if Path(path).exists()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        catalog = rule_catalog()
+        if options.format == "json":
+            print(json.dumps(catalog, indent=2))
+        else:
+            for rule in catalog:
+                scope = ", ".join(rule["modules"]) or "all modules"
+                print(f"{rule['rule_id']} {rule['name']} [{scope}]")
+                print(f"    {rule['description']}")
+        return 0
+
+    paths = list(options.paths) or _default_paths()
+    if not paths:
+        print("repro-preview lint: no paths to lint", file=sys.stderr)
+        return 2
+
+    try:
+        findings = lint_paths(paths)
+        suppressions = load_suppressions(options.suppressions)
+    except LintError as exc:
+        print(f"repro-preview lint: {exc}", file=sys.stderr)
+        return 2
+
+    active, suppressed = apply_suppressions(
+        findings, suppressions, origin=Path(options.suppressions).as_posix()
+    )
+
+    if options.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in active],
+                    "suppressed": [finding.to_dict() for finding in suppressed],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in active:
+            print(finding.format())
+        summary = f"{len(active)} finding(s)"
+        if suppressed:
+            summary += f", {len(suppressed)} suppressed"
+        print(summary)
+    return 1 if active else 0

@@ -1,0 +1,63 @@
+"""The finding model: one rule violation at one source location.
+
+A :class:`Finding` is plain data — the analyzer collects findings, the
+suppression layer filters them, and the CLI renders them as text or
+JSON.  Findings order by ``(path, line, rule_id)`` so reports are stable
+across runs and across rule registration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Repo-relative posix path of the offending file.
+    line:
+        1-based source line of the offending node.
+    rule_id:
+        The registered rule id (``"REP104"``), or the reserved ids
+        ``"REP000"`` (stale suppression) / ``"REP999"`` (unparseable
+        file).
+    message:
+        What contract the code breaks, in one sentence.
+    hint:
+        How to fix it (may be empty).
+    """
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """The one-line text rendering: ``path:line: RULE message (hint)``."""
+        text = f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f" ({self.hint})"
+        return text
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping with exactly the dataclass fields."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+#: Reserved id for a suppression that matches no current finding.
+STALE_SUPPRESSION_ID = "REP000"
+
+#: Reserved id for a file the analyzer cannot parse.
+PARSE_ERROR_ID = "REP999"

@@ -1,0 +1,112 @@
+"""Lint-rule registry: decorator registration, per-module scoping.
+
+Mirrors :data:`repro.core.registry.DISCOVERY_ALGORITHMS`: each rule is a
+checker class that registers itself with :func:`register_lint_rule`,
+declaring the dotted-module prefixes it applies to.  Scoping by *module*
+rather than by filesystem path keeps rules location-independent — the
+same rule fires whether the analyzer was handed ``src/repro/core/x.py``,
+an absolute path, or a fixture snippet with an explicit module override.
+
+A checker class declares ``interests`` (the AST node classes it wants to
+see) and a ``check(node, ctx)`` generator yielding ``(node, message,
+hint)`` violations; the analyzer (:mod:`repro.lint.analysis`) walks each
+file's AST exactly once, dispatching every node to the interested
+in-scope rules.  Registration is idempotent per id (latest wins), so
+tests can shadow and restore built-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple, Type
+
+from ..exceptions import LintError
+
+#: rule_id -> spec; populated at import time by :mod:`repro.lint.rules`.
+LINT_RULES: Dict[str, "LintRule"] = {}
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered lint rule.
+
+    ``modules`` is a tuple of dotted-module prefixes the rule applies to
+    (empty = every module); ``exclude`` lists dotted prefixes carved
+    back out (the sanctioned homes of an otherwise-forbidden construct,
+    e.g. ``repro.kernel.numpy_backend`` for the numpy-confinement rule).
+    """
+
+    rule_id: str
+    name: str
+    description: str
+    checker: Type
+    modules: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = field(default=())
+
+    def applies_to(self, module: str) -> bool:
+        """Whether this rule is in scope for dotted ``module``."""
+        if any(_prefix_match(module, prefix) for prefix in self.exclude):
+            return False
+        if not self.modules:
+            return True
+        return any(_prefix_match(module, prefix) for prefix in self.modules)
+
+
+def _prefix_match(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def register_lint_rule(
+    rule_id: str,
+    name: str,
+    description: str,
+    modules: Tuple[str, ...] = (),
+    exclude: Tuple[str, ...] = (),
+) -> Callable[[Type], Type]:
+    """Class decorator registering a lint checker.
+
+    The decorated class must define ``interests`` (a tuple of ``ast``
+    node classes) and a ``check(self, node, ctx)`` generator yielding
+    ``(node, message, hint)`` triples; one instance is created per
+    analyzed file, so checkers may keep per-file state.
+
+    Raises
+    ------
+    LintError
+        For an empty id/name or a checker without the required
+        ``interests``/``check`` surface.
+    """
+    if not rule_id or not name:
+        raise LintError("lint rules need a non-empty rule_id and name")
+
+    def decorator(checker: Type) -> Type:
+        if not hasattr(checker, "check") or not hasattr(checker, "interests"):
+            raise LintError(
+                f"lint rule {rule_id} checker {checker.__name__} must define "
+                "'interests' and 'check(node, ctx)'"
+            )
+        LINT_RULES[rule_id] = LintRule(
+            rule_id=rule_id,
+            name=name,
+            description=description,
+            checker=checker,
+            modules=tuple(modules),
+            exclude=tuple(exclude),
+        )
+        return checker
+
+    return decorator
+
+
+def unregister_lint_rule(rule_id: str) -> None:
+    """Remove a rule from the registry (test/plugin cleanup)."""
+    LINT_RULES.pop(rule_id, None)
+
+
+def rules_for_module(module: str) -> Tuple[LintRule, ...]:
+    """Every registered rule in scope for dotted ``module``, by id."""
+    return tuple(
+        LINT_RULES[rule_id]
+        for rule_id in sorted(LINT_RULES)
+        if LINT_RULES[rule_id].applies_to(module)
+    )

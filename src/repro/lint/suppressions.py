@@ -1,0 +1,144 @@
+"""Explicit suppressions: grandfathered findings, declared in one file.
+
+The checker takes no inline ``# noqa``-style escapes — every accepted
+violation lives in a single reviewed file (``lint-suppressions.txt`` at
+the repo root), so the debt is enumerable and shrinks monotonically:
+a suppression that no longer matches any finding is itself an error
+(:data:`repro.lint.findings.STALE_SUPPRESSION_ID`), forcing dead
+entries to be deleted the moment the underlying code is fixed.
+
+File format, one suppression per line::
+
+    # comment lines and blanks are ignored
+    REP104 src/repro/legacy/scorer.py        # whole-file, any line
+    REP107 src/repro/core/old.py:88          # exact line only
+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import LintError
+from .findings import STALE_SUPPRESSION_ID, Finding
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One grandfathered finding: a rule id at a path (optionally a line)."""
+
+    rule_id: str
+    path: str
+    line: Optional[int] = None
+    source_line: int = 0
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this suppression covers ``finding``."""
+        if finding.rule_id != self.rule_id:
+            return False
+        if Path(finding.path).as_posix() != self.path:
+            return False
+        return self.line is None or self.line == finding.line
+
+
+def parse_suppressions(text: str, origin: str = "<suppressions>") -> List[Suppression]:
+    """Parse suppressions-file ``text``.
+
+    Raises
+    ------
+    LintError
+        For a malformed line (wrong field count, non-integer line part).
+    """
+    suppressions: List[Suppression] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        if len(fields) != 2:
+            raise LintError(
+                f"{origin}:{lineno}: expected 'RULE_ID path[:line]', "
+                f"got {raw.strip()!r}"
+            )
+        rule_id, target = fields
+        path, sep, line_part = target.rpartition(":")
+        if sep and line_part.isdigit():
+            suppressions.append(
+                Suppression(
+                    rule_id=rule_id,
+                    path=Path(path).as_posix(),
+                    line=int(line_part),
+                    source_line=lineno,
+                )
+            )
+        else:
+            suppressions.append(
+                Suppression(
+                    rule_id=rule_id,
+                    path=Path(target).as_posix(),
+                    source_line=lineno,
+                )
+            )
+    return suppressions
+
+
+def load_suppressions(path: "str | Path") -> List[Suppression]:
+    """Read and parse a suppressions file; missing file means none.
+
+    Raises
+    ------
+    LintError
+        When the file exists but cannot be read or parsed.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        return []
+    try:
+        text = file_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise LintError(f"cannot read suppressions {file_path}: {exc}") from exc
+    return parse_suppressions(text, origin=file_path.as_posix())
+
+
+def apply_suppressions(
+    findings: Sequence[Finding],
+    suppressions: Sequence[Suppression],
+    origin: str = "lint-suppressions.txt",
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (active, suppressed), flagging stale entries.
+
+    Returns a pair: the findings that survive suppression — including
+    one synthesized :data:`STALE_SUPPRESSION_ID` finding per suppression
+    that matched nothing — and the findings that were suppressed.
+    """
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    used = [False] * len(suppressions)
+    for finding in findings:
+        hit = False
+        for index, suppression in enumerate(suppressions):
+            if suppression.matches(finding):
+                used[index] = True
+                hit = True
+        (suppressed if hit else active).append(finding)
+    for index, suppression in enumerate(suppressions):
+        if used[index]:
+            continue
+        target = suppression.path
+        if suppression.line is not None:
+            target += f":{suppression.line}"
+        active.append(
+            Finding(
+                path=origin,
+                line=suppression.source_line,
+                rule_id=STALE_SUPPRESSION_ID,
+                message=(
+                    f"stale suppression: {suppression.rule_id} {target} "
+                    "matches no current finding"
+                ),
+                hint="delete the line; the underlying issue is fixed",
+            )
+        )
+    return sorted(active), sorted(suppressed)

@@ -26,6 +26,7 @@ class Direction(enum.Enum):
     IN = "in"
 
     def flipped(self) -> "Direction":
+        """The opposite direction."""
         return Direction.IN if self is Direction.OUT else Direction.OUT
 
 
@@ -38,6 +39,7 @@ class NonKeyAttribute:
 
     @property
     def name(self) -> str:
+        """Name of the underlying relationship type."""
         return self.rel_type.name
 
     def key_type(self) -> TypeId:

@@ -89,6 +89,7 @@ class EntityGraph:
         self.mutation_log.record(key_types=new_types, structural=structural)
 
     def has_entity(self, entity: EntityId) -> bool:
+        """Whether ``entity`` exists in the graph."""
         return entity in self._types_of
 
     def types_of(self, entity: EntityId) -> FrozenSet[TypeId]:
@@ -99,6 +100,7 @@ class EntityGraph:
             raise UnknownEntityError(entity) from None
 
     def entities(self) -> Iterator[EntityId]:
+        """Iterator over entity ids in insertion order."""
         return iter(self._types_of)
 
     def entity_types(self) -> List[TypeId]:
@@ -121,6 +123,7 @@ class EntityGraph:
 
     @property
     def entity_count(self) -> int:
+        """Number of entities."""
         return len(self._types_of)
 
     # ------------------------------------------------------------------
@@ -180,6 +183,7 @@ class EntityGraph:
 
     @property
     def edge_count(self) -> int:
+        """Number of relationship edges."""
         return self._graph.edge_count
 
     def relationships(self) -> Iterator[Tuple[EntityId, EntityId, RelationshipTypeId]]:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exceptions import ModelError
+
 #: An entity identifier (a URI or a unique name).
 EntityId = str
 
@@ -57,11 +59,11 @@ def qualified_name(rel_type: RelationshipTypeId) -> str:
 def parse_qualified_name(text: str) -> RelationshipTypeId:
     """Inverse of :func:`qualified_name`.
 
-    Raises ``ValueError`` if the text does not have exactly three
-    ``|``-separated fields.
+    Raises :class:`~repro.exceptions.ModelError` if the text does not
+    have exactly three ``|``-separated fields.
     """
     parts = text.split("|")
     if len(parts) != 3:
-        raise ValueError(f"malformed qualified relationship type: {text!r}")
+        raise ModelError(f"malformed qualified relationship type: {text!r}")
     source_type, name, target_type = parts
     return RelationshipTypeId(name=name, source_type=source_type, target_type=target_type)

@@ -98,9 +98,11 @@ class SchemaGraph:
     # Vertices / edges
     # ------------------------------------------------------------------
     def entity_types(self) -> List[TypeId]:
+        """All entity types, in insertion order."""
         return list(self._graph.nodes())
 
     def has_entity_type(self, type_name: TypeId) -> bool:
+        """Whether ``type_name`` is declared."""
         return self._graph.has_node(type_name)
 
     @property
@@ -109,6 +111,7 @@ class SchemaGraph:
         return self._graph.node_count
 
     def relationship_types(self) -> List[RelationshipTypeId]:
+        """All relationship types, in insertion order."""
         return list(self._rel_weights)
 
     @property
@@ -186,10 +189,12 @@ class SchemaGraph:
     # Introspection
     # ------------------------------------------------------------------
     def edges(self) -> Iterator[Tuple[TypeId, TypeId, RelationshipTypeId]]:
+        """Iterator of ``(source, target, relationship type)`` triples."""
         for source, target, _key, label in self._graph.edges():
             yield source, target, label
 
     def stats(self) -> Dict[str, int]:
+        """Count summary of declared types and relationships."""
         return {
             "entity_types": self.entity_type_count,
             "relationship_types": self.relationship_type_count,

@@ -16,7 +16,7 @@ the paper strips numeric literals from Freebase, and so do we).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, NamedTuple
+from typing import Iterable, Iterator, NamedTuple
 
 from ..exceptions import ModelError
 from .entity_graph import EntityGraph
@@ -65,7 +65,7 @@ def triples_to_entity_graph(
             continue
         try:
             rel_type = parse_qualified_name(predicate)
-        except ValueError as exc:
+        except ModelError as exc:
             raise ModelError(f"bad relationship predicate in {triple!r}: {exc}") from exc
         graph.add_relationship(subject, obj, rel_type)
     return graph

@@ -20,7 +20,7 @@ from __future__ import annotations
 import abc
 from typing import Callable, Dict, Iterable, Mapping, Optional
 
-from ..exceptions import UnknownScorerError
+from ..exceptions import ScoringError, UnknownScorerError
 from ..model.attributes import NonKeyAttribute
 from ..model.entity_graph import EntityGraph
 from ..model.ids import TypeId
@@ -110,7 +110,7 @@ NONKEY_SCORERS: Dict[str, Callable[[], NonKeyScorer]] = {}
 def register_key_scorer(cls: type) -> type:
     """Class decorator adding a :class:`KeyScorer` to the registry."""
     if not cls.name:
-        raise ValueError(f"{cls.__name__} must define a non-empty name")
+        raise ScoringError(f"{cls.__name__} must define a non-empty name")
     KEY_SCORERS[cls.name] = cls
     return cls
 
@@ -118,7 +118,7 @@ def register_key_scorer(cls: type) -> type:
 def register_nonkey_scorer(cls: type) -> type:
     """Class decorator adding a :class:`NonKeyScorer` to the registry."""
     if not cls.name:
-        raise ValueError(f"{cls.__name__} must define a non-empty name")
+        raise ScoringError(f"{cls.__name__} must define a non-empty name")
     NONKEY_SCORERS[cls.name] = cls
     return cls
 

@@ -135,7 +135,7 @@ class CandidatePool:
         if unknown:
             raise ScoringError(
                 f"cannot patch candidate pool: types {sorted(map(str, unknown))} "
-                f"are not in the pool (structural mutation requires a rebuild)"
+                "are not in the pool (structural mutation requires a rebuild)"
             )
         key_scores = list(self.key_scores)
         attrs = list(self.attrs)
@@ -148,9 +148,9 @@ class CandidatePool:
             row = self._row(key_scores[i], context.sorted_candidates(type_name))
             if bool(row[0]) != bool(self.attrs[i]):
                 raise ScoringError(
-                    f"cannot patch candidate pool: eligibility of "
+                    "cannot patch candidate pool: eligibility of "
                     f"{type_name!r} changed (structural mutation requires "
-                    f"a rebuild)"
+                    "a rebuild)"
                 )
             attrs[i], attr_scores[i], weighted[i], prefix[i] = row
         return CandidatePool(

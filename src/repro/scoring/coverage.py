@@ -33,6 +33,7 @@ class CoverageKeyScorer(KeyScorer):
     def score_all(
         self, schema: SchemaGraph, entity_graph: Optional[EntityGraph] = None
     ) -> Dict[TypeId, float]:
+        """Coverage scores for every entity type."""
         return {
             type_name: float(schema.entity_count(type_name))
             for type_name in schema.entity_types()
@@ -67,6 +68,7 @@ class CoverageNonKeyScorer(NonKeyScorer):
         schema: SchemaGraph,
         entity_graph: Optional[EntityGraph] = None,
     ) -> Dict[NonKeyAttribute, float]:
+        """Coverage scores restricted to ``candidates``."""
         return {
             attribute: float(schema.relationship_count(attribute.rel_type))
             for attribute in schema.candidate_attributes(key_type)

@@ -96,6 +96,7 @@ class EntropyNonKeyScorer(NonKeyScorer):
         schema: SchemaGraph,
         entity_graph: Optional[EntityGraph] = None,
     ) -> Dict[NonKeyAttribute, float]:
+        """Entropy scores restricted to ``candidates``."""
         if entity_graph is None:
             raise ScoringError(
                 "entropy scoring requires the entity graph (it inspects "

@@ -78,7 +78,7 @@ class ScoringContext:
         if self._nonkey_scorer.requires_entity_graph and entity_graph is None:
             raise ScoringError(
                 f"non-key scorer {self._nonkey_scorer.name!r} requires an "
-                f"entity graph"
+                "entity graph"
             )
         self._key_scores: Dict[TypeId, float] = self._key_scorer.score_all(
             schema, entity_graph
@@ -101,10 +101,12 @@ class ScoringContext:
     # ------------------------------------------------------------------
     @property
     def key_scorer_name(self) -> str:
+        """Name of the active key scorer."""
         return self._key_scorer.name
 
     @property
     def nonkey_scorer_name(self) -> str:
+        """Name of the active non-key scorer."""
         return self._nonkey_scorer.name
 
     # ------------------------------------------------------------------
@@ -136,15 +138,15 @@ class ScoringContext:
             raise ScoringError(
                 f"scorer pair ({self.key_scorer_name!r}, "
                 f"{self.nonkey_scorer_name!r}) does not support delta "
-                f"patching — rebuild the context instead"
+                "patching — rebuild the context instead"
             )
         dirty = list(dict.fromkeys(dirty_types))
         unknown = [t for t in dirty if t not in self._key_scores]
         if unknown:
             raise ScoringError(
-                f"cannot patch scoring context: types "
+                "cannot patch scoring context: types "
                 f"{sorted(map(str, unknown))} are unknown to it (structural "
-                f"mutation requires a rebuild)"
+                "mutation requires a rebuild)"
             )
         # A shallow copy keeps every attribute — including any added to
         # __init__ later — and we then replace only the score state that
@@ -184,6 +186,7 @@ class ScoringContext:
             raise UnknownTypeError(type_name) from None
 
     def key_scores(self) -> Dict[TypeId, float]:
+        """Copy of the per-type key scores."""
         return dict(self._key_scores)
 
     def nonkey_score(self, key_type: TypeId, attribute: NonKeyAttribute) -> float:

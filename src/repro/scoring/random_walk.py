@@ -46,6 +46,7 @@ class RandomWalkKeyScorer(KeyScorer):
     def score_all(
         self, schema: SchemaGraph, entity_graph: Optional[EntityGraph] = None
     ) -> Dict[TypeId, float]:
+        """Random-walk scores for every entity type."""
         graph = schema.undirected_weighted()
         if graph.node_count == 0:
             return {}

@@ -201,7 +201,7 @@ class EngineHost:
             self.graph = IncrementalEntityGraph(base=data)
         else:
             raise TypeError(
-                f"EngineHost needs an EntityGraph or IncrementalEntityGraph, "
+                "EngineHost needs an EntityGraph or IncrementalEntityGraph, "
                 f"got {type(data).__name__}"
             )
         self.engine: PreviewEngine = self.graph.engine(key_scorer, nonkey_scorer)

@@ -168,7 +168,11 @@ class PreviewService:
             # done-callback, which would log it) is the clean exit.
             pass
         except Exception:  # pragma: no cover - defensive
+            # Never absorb an unexpected crash: log it, then let it
+            # propagate into the task (finally still closes the writer;
+            # aclose() gathers connection tasks with return_exceptions).
             logger.exception("connection handler crashed")
+            raise
         finally:
             if task is not None:
                 self._connections.discard(task)
@@ -293,7 +297,7 @@ class PreviewService:
         self._inflight += 1
         try:
             result = await asyncio.wait_for(
-                self._dispatch(request), self.request_timeout
+                self._guarded(request), self.request_timeout
             )
         except asyncio.TimeoutError:
             self._counters["timeouts"] += 1
@@ -312,18 +316,30 @@ class PreviewService:
         except ReproError as exc:
             self._counters["errors"] += 1
             return error_response(request.id, "invalid-query", str(exc))
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # pragma: no cover - defensive
-            logger.exception("request failed unexpectedly")
-            self._counters["errors"] += 1
-            return error_response(
-                request.id, "internal", f"{type(exc).__name__}: {exc}"
-            )
         finally:
             self._inflight -= 1
         self._counters["ok"] += 1
         return ok_response(request.id, request.op, result)
+
+    async def _guarded(self, request) -> Dict[str, Any]:
+        """Dispatch a request, wrapping unexpected crashes as structured errors.
+
+        Anything that is not already a :class:`ReproError` is logged and
+        re-raised as ``ProtocolError("internal", ...)``, which the caller
+        maps to the same ``internal`` wire code a crash always produced —
+        but now through the documented error hierarchy instead of a
+        swallowed stack trace.  Cancellation (``BaseException``) passes
+        through untouched so request timeouts keep working.
+        """
+        try:
+            return await self._dispatch(request)
+        except ReproError:
+            raise
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("request failed unexpectedly")
+            raise ProtocolError(
+                "internal", f"{type(exc).__name__}: {exc}"
+            ) from exc
 
     def _resolve_host(self, request) -> EngineHost:
         if request.dataset is None:
@@ -425,9 +441,7 @@ def run_in_background(
             try:
                 await service.start(host, port)
             except Exception as exc:
-                box["error"] = exc
-                started.set()
-                return
+                raise ServeError("preview service failed to start") from exc
             box["loop"] = asyncio.get_running_loop()
             box["stop"] = stop_event = asyncio.Event()
             started.set()
@@ -436,12 +450,21 @@ def run_in_background(
             finally:
                 await service.aclose()
 
-        asyncio.run(main())
+        try:
+            asyncio.run(main())
+        except ServeError as exc:
+            # Hand the structured startup error to the waiting caller;
+            # the daemon thread itself must exit quietly.
+            box["error"] = exc
+            started.set()
 
     thread = threading.Thread(
         target=target, name="repro-serve", daemon=True
     )
     thread.start()
-    if not started.wait(timeout=10.0) or "error" in box:
-        raise ServeError("preview service failed to start") from box.get("error")
+    if not started.wait(timeout=10.0):
+        raise ServeError("preview service failed to start")
+    error = box.get("error")
+    if error is not None:
+        raise error
     return BackgroundServer(service, thread, box["loop"], box["stop"])

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Iterator, Union
+from typing import Union
 
 from ..exceptions import PersistenceError
 from ..model.triples import Triple

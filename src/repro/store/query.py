@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import StoreError
-from ..model.triples import Triple
 from .triple_store import TripleStore
 
 Binding = Dict[str, str]

@@ -7,10 +7,10 @@ graph and precompute scores before any preview discovery runs.
 
 from __future__ import annotations
 
-from ..exceptions import StoreError
+from ..exceptions import ModelError, StoreError
 from ..model.entity_graph import EntityGraph
 from ..model.schema_graph import SchemaGraph
-from ..model.triples import TYPE_PREDICATE, Triple, entity_graph_to_triples
+from ..model.triples import TYPE_PREDICATE, entity_graph_to_triples
 from .triple_store import TripleStore
 
 
@@ -39,7 +39,7 @@ def entity_graph_from_store(store: TripleStore, name: str = "entity-graph") -> E
             continue
         try:
             rel_type = parse_qualified_name(triple.predicate)
-        except ValueError as exc:
+        except ModelError as exc:
             raise StoreError(
                 f"predicate {triple.predicate!r} is not a qualified "
                 f"relationship type: {exc}"

@@ -14,7 +14,7 @@ asserted multiple times and each assertion counts.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
 
 from ..exceptions import StoreError
 from ..model.triples import Triple
@@ -68,6 +68,7 @@ class TripleStore:
         self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
 
     def add_all(self, triples: Iterable[Triple]) -> None:
+        """Add every triple in ``triples``."""
         for triple in triples:
             self.add(triple)
 
@@ -112,6 +113,7 @@ class TripleStore:
 
     @property
     def distinct_count(self) -> int:
+        """Number of distinct (s, p, o) triples."""
         return len(self._counts)
 
     def __contains__(self, triple: Triple) -> bool:
@@ -122,12 +124,15 @@ class TripleStore:
         return iter(self._counts.items())
 
     def subjects(self) -> Iterator[str]:
+        """Iterator over distinct subjects."""
         return iter(self._spo)
 
     def predicates(self) -> Iterator[str]:
+        """Iterator over distinct predicates."""
         return iter(self._pos)
 
     def objects(self) -> Iterator[str]:
+        """Iterator over distinct objects."""
         return iter(self._osp)
 
     # ------------------------------------------------------------------

@@ -121,7 +121,7 @@ def _starting_graph(trace: WorkloadTrace):
                 f"(scale={trace.scale}, seed={trace.seed}) fingerprints "
                 f"{actual} but the trace was recorded against "
                 f"{trace.fingerprint} — the domain generator drifted; "
-                f"re-record the trace"
+                "re-record the trace"
             )
     return graph
 
@@ -295,7 +295,7 @@ class _IncrementalReplay:
         if not self._graph.verify_against_rescan():
             raise WorkloadError(
                 f"{self.path}: incremental aggregates diverged from a full "
-                f"rescan after replay"
+                "rescan after replay"
             )
         info = self._engine.cache_info()
         info["rescan_ok"] = True
@@ -361,7 +361,7 @@ class _ServeReplay:
         generation = dataset["engine"]["generation"]
         if self._last_generation is not None and generation < self._last_generation:
             raise WorkloadError(
-                f"serve: engine generation went backwards "
+                "serve: engine generation went backwards "
                 f"({self._last_generation} -> {generation})"
             )
         self._last_generation = generation
@@ -414,7 +414,7 @@ def _make_replayer(trace: WorkloadTrace, path: str, jobs: int):
         if jobs < 2:
             raise WorkloadError(
                 f"the sharded path needs jobs >= 2, got {jobs} "
-                f"(use the incremental path for a serial warm engine)"
+                "(use the incremental path for a serial warm engine)"
             )
         return _IncrementalReplay(trace, jobs=jobs)
     if path == "serve":

@@ -1,0 +1,8 @@
+"""numpy imported outside its sanctioned home (lint as repro.core.x)."""
+
+import numpy as np  # REP101
+
+
+def norm(values):
+    """Vector norm via the forbidden direct numpy dependency."""
+    return float(np.linalg.norm(values))

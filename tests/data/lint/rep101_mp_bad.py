@@ -1,0 +1,5 @@
+"""multiprocessing at module top level (lint as repro.engine)."""
+
+import multiprocessing  # REP101
+
+POOL = multiprocessing.get_context("spawn")

@@ -1,0 +1,8 @@
+"""Lazy multiprocessing import inside a function is fine."""
+
+
+def start_pool(jobs):
+    """Spin up workers only when explicitly asked to."""
+    import multiprocessing
+
+    return multiprocessing.get_context("spawn").Pool(jobs)

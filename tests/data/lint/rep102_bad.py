@@ -1,0 +1,9 @@
+"""Hash-order-dependent iteration (lint as repro.core.x)."""
+
+
+def total(weights):
+    """Accumulate over a bare set() — order-dependent construction."""
+    out = []
+    for item in set(weights):  # REP102
+        out.append(item)
+    return out

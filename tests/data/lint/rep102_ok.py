@@ -1,0 +1,9 @@
+"""Deterministically ordered iteration over set contents."""
+
+
+def total(weights):
+    """Accumulate over sorted set contents — order is pinned."""
+    out = []
+    for item in sorted(set(weights)):
+        out.append(item)
+    return out

@@ -1,0 +1,9 @@
+"""Wall-clock and unseeded randomness (lint as repro.scoring.x)."""
+
+import random
+import time
+
+
+def jitter():
+    """Wall-clock + global RNG: results differ across runs."""
+    return time.time() + random.random()  # REP103 twice

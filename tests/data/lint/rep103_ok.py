@@ -1,0 +1,9 @@
+"""Seeded randomness is the sanctioned idiom."""
+
+import random
+
+
+def sample(values, seed):
+    """Deterministic sample from an explicitly seeded generator."""
+    rng = random.Random(seed)
+    return rng.sample(list(values), 2)

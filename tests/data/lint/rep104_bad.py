@@ -1,0 +1,6 @@
+"""Exact float comparison on scores (lint as repro.scoring.x)."""
+
+
+def same(score_a, score_b):
+    """Fifth-decimal bug waiting to happen."""
+    return score_a == score_b  # REP104

@@ -1,0 +1,11 @@
+"""Sanctioned score comparisons: hex-exact and sentinel checks."""
+
+
+def same(score_a, score_b):
+    """Bit-exact comparison through float.hex."""
+    return score_a.hex() == score_b.hex()
+
+
+def unset(score):
+    """Sentinel check against an assigned-never-computed infinity."""
+    return score == float("-inf")

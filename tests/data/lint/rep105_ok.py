@@ -1,0 +1,9 @@
+"""Named exception handling."""
+
+
+def guard(fn):
+    """Catch exactly what the contract names."""
+    try:
+        return fn()
+    except (KeyError, IndexError):
+        return None

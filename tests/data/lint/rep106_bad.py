@@ -1,0 +1,9 @@
+"""Broad handler that absorbs the error (lint as repro.x)."""
+
+
+def swallow(fn):
+    """Logs nothing, raises nothing: the crash disappears."""
+    try:
+        return fn()
+    except Exception:  # REP106
+        return None

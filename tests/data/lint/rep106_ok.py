@@ -1,0 +1,11 @@
+"""Broad handler that translates into the error hierarchy."""
+
+from repro.exceptions import ReproError
+
+
+def translate(fn):
+    """Wrap unexpected crashes into the structured hierarchy."""
+    try:
+        return fn()
+    except Exception as exc:
+        raise ReproError(f"unexpected: {exc}") from exc

@@ -1,0 +1,8 @@
+"""Builtin exception from public API (lint as repro.x)."""
+
+
+def lookup(mapping, key):
+    """Public entry point leaking a stdlib type."""
+    if key not in mapping:
+        raise KeyError(key)  # REP107
+    return mapping[key]

@@ -1,0 +1,16 @@
+"""Structured errors publicly; builtins allowed privately."""
+
+from repro.exceptions import ReproError
+
+
+def lookup(mapping, key):
+    """Public entry point raising through the hierarchy."""
+    if key not in mapping:
+        raise ReproError(f"unknown key: {key!r}")
+    return mapping[key]
+
+
+def _internal_invariant(flag):
+    """Private helpers may use builtins freely."""
+    if not flag:
+        raise ValueError("broken invariant")

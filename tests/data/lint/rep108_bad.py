@@ -1,0 +1,8 @@
+"""Blocking call on the event loop (lint as repro.serve.x)."""
+
+import time
+
+
+async def handler():
+    """Stalls every connection sharing the loop."""
+    time.sleep(1.0)  # REP108

@@ -1,0 +1,14 @@
+"""Async sleep, and blocking work confined to a nested sync def."""
+
+import asyncio
+import time
+
+
+async def handler():
+    """Awaits instead of blocking."""
+    await asyncio.sleep(1.0)
+
+    def worker():
+        time.sleep(0.1)  # runs on an executor thread, not the loop
+
+    await asyncio.get_running_loop().run_in_executor(None, worker)

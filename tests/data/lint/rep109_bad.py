@@ -1,0 +1,12 @@
+"""Direct engine call from the event loop (lint as repro.serve.x)."""
+
+
+class Host:
+    """Async facade that races its own worker thread."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    async def preview(self, params):
+        """Calls the single-threaded engine straight from async code."""
+        return self.engine.run(params)  # REP109

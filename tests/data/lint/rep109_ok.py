@@ -1,0 +1,22 @@
+"""Engine access through the worker-thread closure idiom."""
+
+
+class Host:
+    """Async facade with single-threaded engine discipline."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    async def preview(self, params):
+        """Hands a sync closure to the worker thread; reads attrs only."""
+
+        def compute():
+            return self.engine.run(params)
+
+        generation = self.engine.generation  # attribute read: legal
+        result = await self._on_worker(compute)
+        return {"generation": generation, "result": result}
+
+    async def _on_worker(self, fn):
+        """Stub of the sanctioned executor hop."""
+        return fn()

@@ -1,0 +1,9 @@
+"""Raw REPRO_* environment reads (lint anywhere)."""
+
+import os
+
+ENV_FLAG = "REPRO_FIXTURE_FLAG"
+
+DIRECT = os.environ.get("REPRO_FIXTURE_DIRECT")  # REP110
+VIA_CONSTANT = os.getenv(ENV_FLAG)  # REP110 (resolved through the constant)
+SUBSCRIPT = os.environ["REPRO_FIXTURE_SUB"]  # REP110

@@ -1,0 +1,6 @@
+"""Writes and non-REPRO reads are fine; reads go through config."""
+
+import os
+
+os.environ["REPRO_FIXTURE_FLAG"] = "1"  # a write, not a read
+HOME = os.environ.get("HOME")  # not a REPRO_* knob

@@ -1,0 +1,9 @@
+"""Direct registry mutation (lint as repro.x)."""
+
+from repro.core.registry import DISCOVERY_ALGORITHMS
+
+
+def sneak(spec):
+    """Bypasses decorator validation."""
+    DISCOVERY_ALGORITHMS["sneaky"] = spec  # REP111
+    DISCOVERY_ALGORITHMS.pop("apriori")  # REP111

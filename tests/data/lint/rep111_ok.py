@@ -1,0 +1,8 @@
+"""Registries are read-only outside their defining modules."""
+
+from repro.core.registry import DISCOVERY_ALGORITHMS
+
+
+def lookup(name):
+    """Reading a registry is always fine."""
+    return DISCOVERY_ALGORITHMS.get(name)

@@ -1,0 +1,10 @@
+"""Public symbols without docstrings (lint as repro.x)."""
+
+
+def exported():  # REP112
+    return 1
+
+
+class Widget:  # REP112
+    def render(self):  # REP112
+        return "widget"

@@ -1,0 +1,21 @@
+"""Documented public surface; private names exempt."""
+
+
+def exported():
+    """One line is enough."""
+    return 1
+
+
+def _helper():
+    return 2
+
+
+class Widget:
+    """A documented class."""
+
+    def render(self):
+        """A documented method."""
+        return "widget"
+
+    def _internal(self):
+        return None

@@ -1,0 +1,4 @@
+"""Unparseable file: the analyzer reports REP999, nothing else."""
+
+def broken(:
+    pass

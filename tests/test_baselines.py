@@ -165,7 +165,7 @@ class TestCuratedPreviews:
         }
 
     def test_expert_preview_overlap(self):
-        from repro.datasets import expert_key_attributes, gold_key_attributes
+        from repro.datasets import gold_key_attributes
 
         schema = load_schema("music")
         preview = expert_preview("music", schema)

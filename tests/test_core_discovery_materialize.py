@@ -15,8 +15,6 @@ from repro.exceptions import (
     DiscoveryError,
     InfeasiblePreviewError,
 )
-from repro.model import SchemaGraph
-from repro.scoring import ScoringContext
 
 
 class TestDiscoveryFacade:

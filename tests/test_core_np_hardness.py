@@ -9,6 +9,8 @@ import random
 
 import pytest
 
+from repro.exceptions import DiscoveryError
+
 from repro.core.np_hardness import (
     HUB,
     brute_force_has_clique,
@@ -51,7 +53,7 @@ class TestConstructions:
         assert schema.distance("a", "c") == 1
 
     def test_hub_name_collision_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DiscoveryError):
             diverse_reduction_schema([HUB], [])
 
 

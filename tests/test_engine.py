@@ -89,9 +89,9 @@ class TestRegistry:
             discover_preview(fig1_graph, k=2, n=6, algorithm="apriori")
 
     def test_registration_validation(self):
-        with pytest.raises(ValueError, match="unknown constraint shapes"):
+        with pytest.raises(DiscoveryError, match="unknown constraint shapes"):
             register_discovery_algorithm("bad", shapes=("cosy",))
-        with pytest.raises(ValueError, match="at least one shape"):
+        with pytest.raises(DiscoveryError, match="at least one shape"):
             register_discovery_algorithm("bad", shapes=())
 
     def test_third_party_algorithm_registers_and_dispatches(self, fig1_graph):

@@ -52,7 +52,9 @@ class TestKCliques:
 
     def test_complete_graph_counts(self, backend):
         nodes = list("abcde")
-        adjacent = lambda u, v: True  # noqa: E731 - test stub
+        def adjacent(u, v):
+            return True
+
         for k in range(1, 6):
             expected = len(list(combinations(nodes, k)))
             assert len(backend(nodes, adjacent, k)) == expected

@@ -6,7 +6,6 @@ and the engine's type-scoped invalidation — always against the ground
 truth of a from-scratch rebuild, compared bit-for-bit.
 """
 
-import os
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -19,9 +18,10 @@ from repro.ext import IncrementalEntityGraph
 from repro.model import MutationLog, RelationshipTypeId
 from repro.parallel import ScoringSnapshot
 from repro.scoring import ScoringContext
+from repro import config
 
 #: Worker count for the sharded legs (CI pins REPRO_TEST_JOBS=2/4).
-JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+JOBS = config.test_jobs()
 
 SMALL = settings(
     max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.exceptions import (
+    ModelError,
     SchemaViolationError,
     UnknownEntityError,
     UnknownRelationshipTypeError,
@@ -11,7 +12,6 @@ from repro.exceptions import (
 from repro.model import (
     Direction,
     EntityGraph,
-    NonKeyAttribute,
     RelationshipTypeId,
     incoming,
     outgoing,
@@ -44,7 +44,7 @@ class TestRelationshipTypeId:
         assert parse_qualified_name(qualified_name(ACTOR)) == ACTOR
 
     def test_parse_malformed_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ModelError):
             parse_qualified_name("only|two")
 
     def test_reversed(self):

@@ -5,10 +5,6 @@ exported, so every parallel==serial property here is exercised both
 inline (degenerate single-shard paths) and across a real process pool.
 """
 
-import os
-import subprocess
-import sys
-from pathlib import Path
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -27,10 +23,11 @@ from repro.engine import PreviewEngine, PreviewQuery
 from repro.exceptions import DiscoveryError, InfeasiblePreviewError
 from repro.parallel import ScoringSnapshot, ShardedExecutor, resolve_jobs
 from repro.scoring import ScoringContext
+from repro import config
 
 #: Worker count used by the equivalence tests (the CI "jobs=2 leg" sets
 #: REPRO_TEST_JOBS=2 explicitly; any value >= 2 exercises real shards).
-JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+JOBS = config.test_jobs()
 
 SMALL = settings(
     max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -350,29 +347,12 @@ class TestDeltaUnderShards:
 
 
 class TestSerialFallback:
-    def test_jobs_1_never_imports_multiprocessing(self):
-        """The jobs=1 hot path must not even import multiprocessing."""
-        code = (
-            "import sys\n"
-            "from repro.core import apriori_discover, brute_force_discover\n"
-            "from repro.core.constraints import DistanceConstraint, "
-            "SizeConstraint\n"
-            "from repro.datasets import random_schema_graph\n"
-            "from repro.engine import PreviewEngine, PreviewQuery\n"
-            "from repro.scoring import ScoringContext\n"
-            "context = ScoringContext(random_schema_graph(5, 8, seed=1))\n"
-            "size = SizeConstraint(k=2, n=4)\n"
-            "apriori_discover(context, size, DistanceConstraint.tight(2))\n"
-            "brute_force_discover(context, size)\n"
-            "engine = PreviewEngine(context)\n"
-            "engine.sweep([PreviewQuery(k=2, n=n, d=2) for n in (3, 4)],\n"
-            "             skip_infeasible=True)\n"
-            "assert 'multiprocessing' not in sys.modules, \\\n"
-            "    'multiprocessing imported on the serial path'\n"
-        )
-        src = Path(__file__).resolve().parents[1] / "src"
-        env = dict(os.environ, PYTHONPATH=str(src))
-        subprocess.run([sys.executable, "-c", code], check=True, env=env)
+    # The former subprocess guard (test_jobs_1_never_imports_multiprocessing)
+    # is retired: lint rule REP101 (repro.lint.rules.OptionalImportConfinement)
+    # proves statically that no module outside repro.parallel imports
+    # multiprocessing at module top level, which is the property the
+    # subprocess probe checked dynamically.  The numpy analogue in
+    # tests/test_kernel.py is kept as the one end-to-end backstop.
 
     def test_jobs_zero_resolves_to_cpu_count(self, fig1_context):
         """jobs=0 must work end to end, whatever the machine size."""

@@ -19,12 +19,7 @@ from repro.exceptions import InfeasiblePreviewError
 from repro.datasets import random_entity_graph, random_schema_graph
 from repro.eval import pearson_correlation, two_proportion_z_test
 from repro.graph import apriori_k_cliques, bron_kerbosch_k_cliques
-from repro.model import (
-    SchemaGraph,
-    Triple,
-    entity_graph_to_triples,
-    triples_to_entity_graph,
-)
+from repro.model import Triple, entity_graph_to_triples, triples_to_entity_graph
 from repro.scoring import ScoringContext, value_set_entropy
 from repro.store import TripleStore, load_tsv, save_tsv
 

@@ -15,14 +15,7 @@ from repro.core import (
     discover_preview,
     dynamic_programming_discover,
 )
-from repro.model import (
-    EntityGraph,
-    EntityGraphBuilder,
-    RelationshipTypeId,
-    SchemaGraph,
-    incoming,
-    outgoing,
-)
+from repro.model import EntityGraph, EntityGraphBuilder, RelationshipTypeId, SchemaGraph, outgoing
 from repro.scoring import ScoringContext
 
 

@@ -5,14 +5,7 @@ import math
 import pytest
 
 from repro.exceptions import ScoringError, UnknownScorerError
-from repro.model import (
-    Direction,
-    NonKeyAttribute,
-    RelationshipTypeId,
-    SchemaGraph,
-    incoming,
-    outgoing,
-)
+from repro.model import RelationshipTypeId, SchemaGraph, incoming, outgoing
 from repro.scoring import (
     CoverageKeyScorer,
     EntropyNonKeyScorer,

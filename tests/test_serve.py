@@ -329,7 +329,9 @@ class TestService:
             assert responses["a"]["ok"] and responses["b"]["ok"]
             # Bit-identical: the serialized result payloads are equal as
             # JSON text, not merely as approximately equal numbers.
-            dumps = lambda r: json.dumps(r["result"], sort_keys=True)  # noqa: E731
+            def dumps(r):
+                return json.dumps(r["result"], sort_keys=True)
+
             assert dumps(responses["a"]) == dumps(responses["b"])
 
             with ServeClient(port=server.port) as client:

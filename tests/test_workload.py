@@ -12,7 +12,6 @@ pool.
 from __future__ import annotations
 
 import json
-import os
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -22,6 +21,7 @@ from repro.cli import main
 from repro.engine import PreviewQuery
 from repro.exceptions import WorkloadError
 from repro.serve import parse_query, parse_sweep
+from repro import config
 from repro.workload import (
     REPLAY_PATHS,
     SCENARIOS,
@@ -37,7 +37,7 @@ from repro.workload import (
 )
 
 #: Worker count for the sharded legs (CI pins REPRO_TEST_JOBS=2).
-JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+JOBS = config.test_jobs()
 
 #: Small, cheap domain every test trace runs against.
 DOMAIN, SCALE = "architecture", 1000

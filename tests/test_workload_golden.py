@@ -14,12 +14,12 @@ must be deliberately re-captured.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
 from repro import kernel
+from repro import config
 from repro.workload import (
     REPLAY_PATHS,
     WorkloadTrace,
@@ -30,7 +30,7 @@ from repro.workload import (
 GOLDEN = Path(__file__).resolve().parent / "data" / "workload_golden.jsonl"
 
 #: Worker count for the sharded path (CI pins REPRO_TEST_JOBS=2).
-JOBS = int(os.environ.get("REPRO_TEST_JOBS", "2"))
+JOBS = config.test_jobs()
 
 
 @pytest.fixture(scope="module")
