@@ -28,7 +28,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from conftest import SCALE, SEED  # noqa: E402
 
-from repro import kernel  # noqa: E402
+from repro import kernel, plan  # noqa: E402
 from repro.workload import (  # noqa: E402
     ScenarioSpec,
     format_report,
@@ -63,7 +63,14 @@ def run_benchmark():
         domain=DOMAIN, scale=SCALE, seed=SEED, ops=OPS, scenario=SPEC
     )
     trace = record_digests(trace)
+    plan_before = plan.decision_counts()
     report = run_conformance(trace, jobs=JOBS)
+    plan_after = plan.decision_counts()
+    plan_decisions = {
+        key: plan_after[key] - plan_before.get(key, 0)
+        for key in plan_after
+        if plan_after[key] - plan_before.get(key, 0)
+    }
 
     paths = {
         path: {
@@ -89,6 +96,8 @@ def run_benchmark():
         "jobs": JOBS,
         "kernel_backend": kernel.backend_name(),
         "dispatch_threshold": kernel.dispatch_threshold(),
+        "plan_mode": plan.plan_mode(),
+        "plan_decisions": plan_decisions,
         "paths": paths,
         "identical": report["identical"],
         "first_divergence": report["first_divergence"],

@@ -42,8 +42,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
+from . import plan
 from .core.registry import available_algorithms
 from .core.render import render_preview
 from .datasets.freebase_like import DOMAINS, generate_domain, load_domain
@@ -115,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for sharded subset evaluation (default 1 = "
             "serial, 0 = all CPU cores); results are identical at any "
             "job count"
+        ),
+    )
+    parser.add_argument(
+        "--plan",
+        choices=plan.PLAN_MODES,
+        default=None,
+        help=(
+            "execution planner mode (default: the REPRO_PLAN environment "
+            "knob, i.e. auto); results are identical in every mode"
         ),
     )
     parser.add_argument(
@@ -480,16 +491,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             key_scorer=args.key_scorer,
             nonkey_scorer=args.nonkey_scorer,
         )
-        if args.sweep_n:
-            return _run_sweep(engine, args, d, mode)
-        result = engine.query(
-            k=args.tables,
-            n=args.attrs,
-            d=d,
-            mode=mode,
-            algorithm=args.algorithm,
-            jobs=args.jobs,
+        forced = (
+            plan.use_mode(args.plan) if args.plan is not None else nullcontext()
         )
+        with forced:
+            if args.sweep_n:
+                return _run_sweep(engine, args, d, mode)
+            result = engine.query(
+                k=args.tables,
+                n=args.attrs,
+                d=d,
+                mode=mode,
+                algorithm=args.algorithm,
+                jobs=args.jobs,
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -43,7 +43,7 @@ from __future__ import annotations
 import logging
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from .. import kernel
+from .. import kernel, plan
 from ..core.apriori import _registered_apriori as _builtin_apriori_runner
 from ..core.branch_bound import branch_and_bound_discover as _builtin_branch_bound
 from ..core.brute_force import brute_force_discover as _builtin_brute_force
@@ -195,6 +195,10 @@ class PreviewEngine:
         #: parent-side sharded dispatches are all attributed here).
         self._kernel_batches = 0
         self._kernel_subsets = 0
+        #: Planner decisions made on behalf of this engine's queries
+        #: and sweep prewarms (deltas of the process-wide counters, the
+        #: same attribution scheme as the kernel counters above).
+        self._plan_decisions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # State
@@ -241,8 +245,11 @@ class PreviewEngine:
         only.  ``kernel_backend`` names the active scoring-kernel
         backend and ``kernel_batches``/``kernel_subsets`` count the
         batched kernel dispatches (and subsets they scored) made on
-        behalf of this engine — every value except ``kernel_backend``
-        is an int.
+        behalf of this engine.  ``plan_mode`` names the effective
+        execution-planner mode and ``plan_decisions`` breaks down the
+        planner decisions (serial/sharded/batched-sweep; model-warm vs
+        fallback) attributed to this engine's queries and sweep
+        prewarms (see :mod:`repro.plan`).
         """
         self._sync_generation()
         return {
@@ -257,6 +264,8 @@ class PreviewEngine:
             "kernel_backend": kernel.backend_name(),
             "kernel_batches": self._kernel_batches,
             "kernel_subsets": self._kernel_subsets,
+            "plan_mode": plan.plan_mode(),
+            "plan_decisions": dict(self._plan_decisions),
         }
 
     def _sync_generation(self) -> None:
@@ -479,6 +488,13 @@ class PreviewEngine:
         knowing the whole batch, one sized-right build serves every
         point.  Queries that are malformed or won't take the Apriori
         fast path are skipped — they fail or dispatch normally later.
+
+        With a parallel executor, the *whole batch* of pending builds
+        is planned at once (:func:`repro.plan.plan_sweep`): groups big
+        enough for their own sharded dispatch get one, and — under the
+        ``auto`` planner — groups individually too small are batched
+        into one combined worker dispatch instead of each running
+        serially, amortizing the snapshot shipping across sweep points.
         """
         from ..exceptions import DiscoveryError
 
@@ -499,8 +515,95 @@ class PreviewEngine:
             known = widest.get(group_key)
             if known is None or size.n > known[0].n:
                 widest[group_key] = (size, distance)
+        if executor is None or executor.jobs <= 1:
+            for size, distance in widest.values():
+                self._apriori_profiles(
+                    self.context, size, distance, executor=executor
+                )
+            return
+        plan_before = plan.decision_counts()
+        context = self.context
+        # Collect the groups that actually need a (re)build, with the
+        # same cap semantics as _apriori_profiles: capped on the first
+        # build, exhaustive on a rebuild for a wider budget.
+        pending: List[Tuple[Tuple, List[Tuple[TypeId, ...]], Optional[int]]] = []
         for size, distance in widest.values():
-            self._apriori_profiles(self.context, size, distance, executor=executor)
+            group_key, subsets = self._group_subsets(context, size, distance)
+            extra_cap = size.n - size.k
+            profiles = self._patch_stale_profiles(context, group_key, subsets)
+            if profiles is not None and all(
+                profile is None or profile.covers(extra_cap)
+                for profile in profiles
+            ):
+                continue
+            if not subsets:
+                self._profiles[group_key] = []
+                continue
+            cap = extra_cap if profiles is None else None
+            pending.append((group_key, subsets, cap))
+        if not pending:
+            self._accumulate_plan_decisions(plan_before)
+            return
+        sweep_plan = plan.plan_sweep(
+            [len(subsets) for _, subsets, _ in pending], executor.jobs
+        )
+        pool = context.candidate_pool()
+        for at in sweep_plan.sharded:
+            group_key, subsets, cap = pending[at]
+            snapshot = self._current_snapshot(pool)
+            self._profiles[group_key] = self._rehydrate_profiles(
+                pool, subsets, executor.build_profiles(snapshot, subsets, cap)
+            )
+        if sweep_plan.batched:
+            snapshot = self._current_snapshot(pool)
+            grouped = executor.build_profile_groups(
+                snapshot,
+                [
+                    (pending[at][1], pending[at][2])
+                    for at in sweep_plan.batched
+                ],
+            )
+            for at, payloads in zip(sweep_plan.batched, grouped):
+                group_key, subsets, _cap = pending[at]
+                self._profiles[group_key] = self._rehydrate_profiles(
+                    pool, subsets, payloads
+                )
+        for at in sweep_plan.serial:
+            group_key, subsets, cap = pending[at]
+            self._profiles[group_key] = [
+                build_allocation_profile(pool, keys, cap=cap)
+                for keys in subsets
+            ]
+        self._accumulate_plan_decisions(plan_before)
+
+    def _rehydrate_profiles(
+        self,
+        pool,
+        subsets: List[Tuple[TypeId, ...]],
+        payloads,
+    ) -> List[Optional[AllocationProfile]]:
+        """Worker profile payloads -> AllocationProfiles over ``pool``."""
+        return [
+            None
+            if payload is None
+            else AllocationProfile(
+                keys,
+                tuple(pool.index[key] for key in keys),
+                payload[0],
+                payload[1],
+                payload[2],
+            )
+            for keys, payload in zip(subsets, payloads)
+        ]
+
+    def _accumulate_plan_decisions(self, before: Dict[str, int]) -> None:
+        """Fold the planner-counter delta since ``before`` into this engine."""
+        for key, value in plan.decision_counts().items():
+            delta = value - before.get(key, 0)
+            if delta:
+                self._plan_decisions[key] = (
+                    self._plan_decisions.get(key, 0) + delta
+                )
 
     # ------------------------------------------------------------------
     # Execution
@@ -526,8 +629,10 @@ class PreviewEngine:
         # (feasible or memoized-infeasible); an algorithm that raises
         # mid-flight must not skew the statistics of retried queries.
         before = kernel.kernel_stats()
+        plan_before = plan.decision_counts()
         result = self._execute(spec, query, jobs=jobs, executor=executor)
         after = kernel.kernel_stats()
+        self._accumulate_plan_decisions(plan_before)
         self._kernel_batches += after["batches"] - before["batches"]
         self._kernel_subsets += after["subsets"] - before["subsets"]
         self._misses += 1
@@ -637,20 +742,9 @@ class PreviewEngine:
             len(subsets), executor.jobs
         ):
             snapshot = self._current_snapshot(pool)
-            profiles = [
-                None
-                if payload is None
-                else AllocationProfile(
-                    keys,
-                    tuple(pool.index[key] for key in keys),
-                    payload[0],
-                    payload[1],
-                    payload[2],
-                )
-                for keys, payload in zip(
-                    subsets, executor.build_profiles(snapshot, subsets, cap)
-                )
-            ]
+            profiles = self._rehydrate_profiles(
+                pool, subsets, executor.build_profiles(snapshot, subsets, cap)
+            )
         else:
             profiles = [
                 build_allocation_profile(pool, keys, cap=cap) for keys in subsets

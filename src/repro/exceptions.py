@@ -94,6 +94,14 @@ class KernelError(ScoringError):
     """
 
 
+class PlanError(ReproError):
+    """Errors raised by the execution planner (``repro.plan``).
+
+    Raised when ``REPRO_PLAN`` names an unknown mode (the threshold
+    knob keeps its historical :class:`KernelError` contract).
+    """
+
+
 class DiscoveryError(ReproError):
     """Errors raised by preview discovery (``repro.core``)."""
 

@@ -24,6 +24,7 @@ lowest-index tie-break — see ``docs/scoring-kernel.md``.
 from __future__ import annotations
 
 import importlib.util
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Tuple
 
@@ -39,10 +40,11 @@ from .base import (
     record_batch,
     reset_kernel_stats,
 )
-from .plan import (
+from ..plan import (
     DEFAULT_DISPATCH_THRESHOLD,
     dispatch_threshold,
     estimated_subsets,
+    observe_serial,
     should_shard,
 )
 from .pure import PythonBackend
@@ -169,4 +171,9 @@ def best_allocation(source, subsets: Subsets, extra_cap: int) -> BestAllocation:
         return None
     backend = active_backend()
     record_batch(len(subsets))
-    return backend.best_allocation(backend.lower(source), subsets, extra_cap)
+    start = time.perf_counter()
+    result = backend.best_allocation(
+        backend.lower(source), subsets, extra_cap
+    )
+    observe_serial(backend.name, len(subsets), time.perf_counter() - start)
+    return result

@@ -23,13 +23,14 @@ for bit.  Gather temporaries are bounded by processing
 
 from __future__ import annotations
 
+import time
 from itertools import chain
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import UnknownTypeError
-from .base import BATCH_SIZE, KernelBackend
+from .base import BATCH_SIZE, KernelBackend, observe_lowering
 
 
 class NumpyColumns:
@@ -76,7 +77,12 @@ class NumpyBackend(KernelBackend):
 
     def lower(self, source) -> NumpyColumns:
         """Lower source columns to padded numpy rectangles."""
-        return NumpyColumns(source.index, source.weighted)
+        start = time.perf_counter()
+        columns = NumpyColumns(source.index, source.weighted)
+        observe_lowering(
+            self.name, len(source.weighted), time.perf_counter() - start
+        )
+        return columns
 
     # ------------------------------------------------------------------
     # Scoring

@@ -1,82 +1,28 @@
-"""Dispatch planning: when is sharding worth the process-pool overhead?
+"""Back-compat shim: dispatch planning moved to :mod:`repro.plan`.
 
-The batched kernel moved the break-even point.  Scoring a few thousand
-subsets serially now costs single-digit milliseconds — less than one
-pickle round-trip of a :class:`~repro.parallel.ScoringSnapshot` plus
-shard payloads — so small points must never pay for the pool (the
-``BENCH_workload.json`` regression this planner fixes: the sharded path
-ran every tiny bench-mixed query through worker processes).
-
-Three cheap signals drive the decision:
-
-* :func:`estimated_subsets` — ``C(|eligible|, k)`` from candidate-pool
-  stats, an upper bound on the qualifying-subset count that brute force
-  consults *before* materializing its combination stream;
-* :func:`dispatch_threshold` — the subset count below which every
-  consumer runs the serial kernel inline, tunable via
-  ``REPRO_DISPATCH_THRESHOLD`` for benchmarking the crossover;
-* :func:`usable_cpus` — worker processes squeezed onto one core
-  serialize anyway, so a single-core affinity mask vetoes sharding
-  outright.
+PR 6 introduced this module with one static threshold; the planner
+outgrew the kernel package and now lives in ``repro.plan`` (cost model,
+mode forcing, adaptive shard sizing, decision counters).  The names
+historically imported from here keep working — they are the same
+objects — but new code should import :mod:`repro.plan` directly.
 """
 
 from __future__ import annotations
 
-import math
-import os
+from ..plan import (  # noqa: F401  (re-exported compatibility surface)
+    DEFAULT_DISPATCH_THRESHOLD,
+    ENV_THRESHOLD,
+    dispatch_threshold,
+    estimated_subsets,
+    should_shard,
+    usable_cpus,
+)
 
-from .. import config
-from ..exceptions import KernelError
-
-#: Environment override for the sharding crossover point (declared in
-#: :mod:`repro.config`; the name is kept here for subprocess spawners).
-ENV_THRESHOLD = config.DISPATCH_THRESHOLD.name
-
-#: Below this many subsets, process-pool dispatch costs more than the
-#: serial kernel call it would replace (measured on the bench-mixed
-#: workload trace; see docs/scoring-kernel.md).
-DEFAULT_DISPATCH_THRESHOLD = 4096
-
-
-def dispatch_threshold() -> int:
-    """The effective sharding threshold (env override or default)."""
-    raw = config.raw_knob(ENV_THRESHOLD)
-    if raw is None:
-        return DEFAULT_DISPATCH_THRESHOLD
-    try:
-        value = int(raw)
-    except ValueError:
-        raise KernelError(
-            f"{ENV_THRESHOLD} must be an integer, got {raw!r}"
-        ) from None
-    if value < 0:
-        raise KernelError(f"{ENV_THRESHOLD} must be >= 0, got {value}")
-    return value
-
-
-def usable_cpus() -> int:
-    """CPU cores this process may actually run on."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
-
-
-def should_shard(subset_count: int, jobs: int) -> bool:
-    """Whether ``subset_count`` subsets justify ``jobs`` worker processes.
-
-    Requires both enough work (the threshold) and enough hardware:
-    worker processes pinned to a single core serialize anyway, so on a
-    one-core box sharding is pure snapshot-pickling overhead and the
-    planner always answers no, whatever ``jobs`` was requested.
-    """
-    if jobs <= 1 or min(jobs, usable_cpus()) <= 1:
-        return False
-    return subset_count >= dispatch_threshold()
-
-
-def estimated_subsets(eligible_count: int, k: int) -> int:
-    """Upper bound on the qualifying k-subset count: ``C(eligible, k)``."""
-    if k < 0 or k > eligible_count:
-        return 0
-    return math.comb(eligible_count, k)
+__all__ = [
+    "DEFAULT_DISPATCH_THRESHOLD",
+    "ENV_THRESHOLD",
+    "dispatch_threshold",
+    "estimated_subsets",
+    "should_shard",
+    "usable_cpus",
+]

@@ -1,0 +1,205 @@
+"""The planner's memory: ring-buffered timings and fitted linear costs.
+
+Every execution strategy the planner can pick has a cost of the shape
+``setup + rate * subsets`` — a fixed dispatch overhead (columnar
+lowering for the serial kernel; snapshot pickling, pool latency and
+result transfer for the sharded executor) plus a per-subset scoring
+rate.  :class:`CostModel` records real measurements of both strategies
+as ``(subsets, seconds)`` observations in bounded ring buffers, keyed by
+``(signal, kernel backend)``, and fits each buffer with an ordinary
+least-squares line.  The fit is the prediction: once both the serial and
+the sharded signal of the active backend have enough *diverse*
+observations (:data:`MIN_SAMPLES` points spanning at least two distinct
+batch sizes), the model is *warm* and the planner trusts
+``predict(signal, backend, n)`` over the static threshold.
+
+Signals recorded by the timing hooks
+(:func:`repro.plan.observe_serial` and friends):
+
+``serial``
+    One batched kernel dispatch in the calling process — timed around
+    :func:`repro.kernel.best_allocation` and the executor's inline path.
+``sharded``
+    One whole sharded dispatch, parent-side wall time — snapshot
+    pickling, shard transfer, worker compute and reduction included
+    (timed in :meth:`repro.parallel.ShardedExecutor.best_allocation`).
+``shard``
+    One worker's compute time for its own shard, measured inside the
+    worker and shipped back with the shard result.  Its fitted *rate* is
+    the pure per-subset scoring speed and its *setup* the per-shard
+    fixed cost — the two numbers adaptive shard sizing needs.
+``lower``
+    One columnar lowering of a pool/snapshot inside a kernel backend
+    (the serial path's per-call setup, timed in ``lower()``).
+
+Ring buffers keep the model adaptive: a machine whose load changes (or
+a benchmark that switches backends) overwrites stale observations after
+``window`` new ones, instead of averaging against them forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: Observations a signal needs before its fit is trusted (and they must
+#: span at least two distinct batch sizes, or the slope is unidentified).
+MIN_SAMPLES = 4
+
+#: Default ring-buffer capacity per ``(signal, backend)`` series
+#: (overridable via ``REPRO_PLAN_WINDOW``, see :mod:`repro.config`).
+DEFAULT_WINDOW = 64
+
+
+class LinearFit:
+    """A fitted ``seconds = setup + rate * subsets`` cost line.
+
+    Both coefficients are clamped non-negative: a negative setup or rate
+    is measurement noise (costs cannot shrink with more work), and
+    clamping keeps predictions monotone in the batch size.
+    """
+
+    __slots__ = ("setup", "rate", "samples")
+
+    def __init__(self, setup: float, rate: float, samples: int) -> None:
+        self.setup = max(setup, 0.0)
+        self.rate = max(rate, 0.0)
+        self.samples = samples
+
+    def predict(self, subsets: int) -> float:
+        """Predicted wall seconds for a batch of ``subsets`` subsets."""
+        return self.setup + self.rate * subsets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinearFit(setup={self.setup:.6f}, rate={self.rate:.3e}, "
+            f"samples={self.samples})"
+        )
+
+
+def _least_squares(points: List[Tuple[int, float]]) -> Optional[LinearFit]:
+    """Ordinary least squares over ``(subsets, seconds)`` points.
+
+    Returns None when the points cannot identify a slope — fewer than
+    :data:`MIN_SAMPLES` observations, or all at one batch size.
+    """
+    if len(points) < MIN_SAMPLES:
+        return None
+    n = float(len(points))
+    mean_x = sum(x for x, _ in points) / n
+    mean_y = sum(y for _, y in points) / n
+    var = sum((x - mean_x) ** 2 for x, _ in points)
+    if var <= 0.0:
+        return None  # one distinct batch size: slope unidentified
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    rate = cov / var
+    setup = mean_y - rate * mean_x
+    return LinearFit(setup=setup, rate=rate, samples=len(points))
+
+
+class CostModel:
+    """Ring-buffered timing observations with least-squares cost fits.
+
+    Not thread-safe on its own: the owning :class:`~repro.plan.Planner`
+    serializes access (observations arrive from serve worker threads and
+    benchmark loops alike).
+
+    Parameters
+    ----------
+    window:
+        Ring-buffer capacity per ``(signal, backend)`` series; older
+        observations are evicted FIFO once a series is full.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < MIN_SAMPLES:
+            raise ValueError(
+                f"cost-model window must be >= {MIN_SAMPLES}, got {window}"
+            )
+        self.window = window
+        self._series: Dict[Tuple[str, str], Deque[Tuple[int, float]]] = {}
+        self._fits: Dict[Tuple[str, str], Optional[LinearFit]] = {}
+        #: Snapshot pickling measurements: (bytes, seconds) ring.
+        self._snapshots: Deque[Tuple[int, float]] = deque(maxlen=window)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe(
+        self, signal: str, backend: str, subsets: int, seconds: float
+    ) -> None:
+        """Record one ``(subsets, seconds)`` observation for a series."""
+        if subsets <= 0 or seconds < 0.0:
+            return  # degenerate measurements carry no cost information
+        key = (signal, backend)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = deque(maxlen=self.window)
+        series.append((subsets, seconds))
+        self._fits.pop(key, None)  # lazily refit on next read
+
+    def observe_snapshot(self, payload_bytes: int, seconds: float) -> None:
+        """Record one snapshot pickling measurement (bytes, seconds)."""
+        if payload_bytes <= 0 or seconds < 0.0:
+            return
+        self._snapshots.append((payload_bytes, seconds))
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def fit(self, signal: str, backend: str) -> Optional[LinearFit]:
+        """The fitted cost line for one series, or None while cold."""
+        key = (signal, backend)
+        if key not in self._fits:
+            series = self._series.get(key)
+            self._fits[key] = (
+                _least_squares(list(series)) if series else None
+            )
+        return self._fits[key]
+
+    def predict(
+        self, signal: str, backend: str, subsets: int
+    ) -> Optional[float]:
+        """Predicted seconds for a batch, or None while the series is cold."""
+        fitted = self.fit(signal, backend)
+        if fitted is None:
+            return None
+        return fitted.predict(subsets)
+
+    def warm(self, backend: str) -> bool:
+        """Whether serial *and* sharded predictions exist for ``backend``.
+
+        This is the planner's "trust the model" bar: choosing between
+        the two strategies needs a defensible estimate of both.
+        """
+        return (
+            self.fit("serial", backend) is not None
+            and self.fit("sharded", backend) is not None
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def observation_counts(self) -> Dict[str, int]:
+        """Per-series observation counts, keyed ``"signal/backend"``."""
+        return {
+            f"{signal}/{backend}": len(series)
+            for (signal, backend), series in sorted(self._series.items())
+        }
+
+    def snapshot_stats(self) -> Dict[str, float]:
+        """Mean snapshot pickle size/time over the recorded window."""
+        if not self._snapshots:
+            return {"samples": 0, "mean_bytes": 0.0, "mean_seconds": 0.0}
+        count = len(self._snapshots)
+        return {
+            "samples": count,
+            "mean_bytes": sum(b for b, _ in self._snapshots) / count,
+            "mean_seconds": sum(s for _, s in self._snapshots) / count,
+        }
+
+    def reset(self) -> None:
+        """Drop every observation and fit (benchmark leg isolation)."""
+        self._series.clear()
+        self._fits.clear()
+        self._snapshots.clear()

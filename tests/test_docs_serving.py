@@ -17,7 +17,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import kernel
+from repro import kernel, plan
 from repro.datasets.freebase_like import generate_domain
 from repro.serve import EngineHost, PreviewService, run_in_background
 
@@ -58,8 +58,14 @@ def test_serving_doc_examples_are_live():
         # The documented session was captured with the always-available
         # python kernel backend pinned (REPRO_KERNEL=python): the stats
         # response reports `kernel_backend`, which would otherwise vary
-        # with whether numpy happens to be installed.
-        with kernel.use_backend("python"), socket.create_connection(
+        # with whether numpy happens to be installed.  The planner mode
+        # is pinned to the default `auto` the same way: the stats
+        # response reports `plan_mode`, which would otherwise vary with
+        # REPRO_PLAN (the CI planner leg runs this suite under every
+        # mode, and the replay must stay byte-identical in all of them).
+        with kernel.use_backend("python"), plan.use_mode(
+            "auto"
+        ), socket.create_connection(
             ("127.0.0.1", server.port), timeout=60
         ) as sock:
             reader = sock.makefile("rb")

@@ -23,7 +23,7 @@ from repro.engine import PreviewEngine, PreviewQuery
 from repro.exceptions import DiscoveryError, InfeasiblePreviewError
 from repro.parallel import ScoringSnapshot, ShardedExecutor, resolve_jobs
 from repro.scoring import ScoringContext
-from repro import config
+from repro import config, plan
 
 #: Worker count used by the equivalence tests (the CI "jobs=2 leg" sets
 #: REPRO_TEST_JOBS=2 explicitly; any value >= 2 exercises real shards).
@@ -150,14 +150,27 @@ class TestShardBoundaries:
         assert executor.best_allocation(snapshot, [], 1) is None
         assert executor.build_profiles(snapshot, [], cap=1) == []
 
+    @pytest.mark.parametrize("mode", ["static", "auto"])
     @pytest.mark.parametrize("subset_count", [1, 2, 3, 5, 9])
     @pytest.mark.parametrize("jobs", [1, 2, 4])
-    def test_no_shard_is_ever_empty(self, subset_count, jobs):
-        """Every shard carries >= 1 subset and they tile the input."""
+    def test_no_shard_is_ever_empty(self, subset_count, jobs, mode):
+        """Every shard carries >= 1 subset and they tile the input.
+
+        Static mode keeps the PR 6 tiling (min(jobs, n) shards); auto
+        may oversubscribe up to 2x jobs, but never past the subset
+        count and never with an empty shard.
+        """
         snapshot = ScoringSnapshot(index={"A": 0}, weighted=((1.0,),))
         subsets = [(f"T{i}",) for i in range(subset_count)]
-        payloads = ShardedExecutor(jobs)._payloads(snapshot, subsets, cap=1)
-        assert len(payloads) == min(jobs, subset_count)
+        with plan.use_mode(mode):
+            payloads = ShardedExecutor(jobs)._payloads(
+                snapshot, subsets, cap=1
+            )
+        floor = min(jobs, subset_count)
+        ceiling = (
+            floor if mode == "static" else min(2 * jobs, subset_count)
+        )
+        assert floor <= len(payloads) <= ceiling
         rebuilt = []
         expected_start = 0
         for _, start, shard, _, _backend in payloads:

@@ -19,7 +19,7 @@ from pathlib import Path
 import pytest
 
 from repro import kernel
-from repro import config
+from repro import config, plan
 from repro.workload import (
     REPLAY_PATHS,
     WorkloadTrace,
@@ -110,6 +110,27 @@ def test_golden_digests_reproduce_under_each_kernel_backend(
     assert result.ops == len(golden.ops)
     assert not result.digest_mismatches, (
         f"{path} under the {backend} backend diverged at op(s) "
+        f"{[entry[0] for entry in result.digest_mismatches]}"
+    )
+
+
+@pytest.mark.parametrize("mode", plan.PLAN_MODES)
+def test_golden_digests_reproduce_under_every_plan_mode(golden, mode):
+    """Planner modes replay the recorded payloads digest-for-digest.
+
+    The trace was captured before the execution planner existed, so a
+    digest match under ``auto`` (adaptive shard sizing, sweep batching,
+    possibly mid-replay decision flips as the cost model warms) — and
+    under every forced mode — proves planning moves wall time only,
+    never payload bytes, on a real mixed read/write session.
+    """
+    with plan.use_mode(mode):
+        result = replay_trace(
+            golden, path="sharded", jobs=JOBS, verify_digests=True
+        )
+    assert result.ops == len(golden.ops)
+    assert not result.digest_mismatches, (
+        f"sharded replay under REPRO_PLAN={mode} diverged at op(s) "
         f"{[entry[0] for entry in result.digest_mismatches]}"
     )
 
