@@ -31,8 +31,18 @@ Serve preview tables to concurrent clients over the JSON-line protocol
 
     repro-preview serve --datasets film,music --port 9400 --jobs 2
 
+Run the replicated tier (``docs/replication.md``): one writer, any
+number of read replicas subscribed to it, and a router in front::
+
+    repro-preview serve --role writer --datasets film --port 9400
+    repro-preview serve --role replica --datasets film --port 9401 \\
+        --upstream 127.0.0.1:9400
+    repro-preview serve --role router --datasets film --port 9500 \\
+        --writer 127.0.0.1:9400 --replicas 127.0.0.1:9401
+
 Record a workload trace and differentially verify it across the serial,
-incremental, sharded and serve execution paths (``docs/workloads.md``)::
+incremental, sharded, serve and replicated execution paths
+(``docs/workloads.md``)::
 
     repro-preview workload record --domain film --ops 200 --out trace.jsonl
     repro-preview workload replay trace.jsonl --diff --jobs 2
@@ -196,6 +206,37 @@ def build_serve_parser() -> argparse.ArgumentParser:
             f"private copy); available: {', '.join(DOMAINS)}"
         ),
     )
+    parser.add_argument(
+        "--role",
+        choices=("standalone", "writer", "replica", "router"),
+        default="standalone",
+        help=(
+            "service role (docs/replication.md): standalone serves reads "
+            "and writes itself; writer additionally streams mutation "
+            "deltas to subscribed replicas; replica follows --upstream "
+            "and serves reads only; router owns no engines and forwards "
+            "to --writer / --replicas"
+        ),
+    )
+    parser.add_argument(
+        "--upstream",
+        metavar="HOST:PORT",
+        help="(replica) the writer service to subscribe to",
+    )
+    parser.add_argument(
+        "--writer",
+        metavar="HOST:PORT",
+        help="(router) the writer service mutations are forwarded to",
+    )
+    parser.add_argument(
+        "--replicas",
+        metavar="HOST:PORT,...",
+        help=(
+            "(router) comma-separated replica services reads are "
+            "consistent-hashed across (empty: reads fall back to the "
+            "writer)"
+        ),
+    )
     parser.add_argument("--host", default="127.0.0.1", help="bind address")
     parser.add_argument(
         "--port", type=int, default=9400, help="bind port (0 = ephemeral)"
@@ -245,6 +286,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_address(text: str, flag: str) -> tuple:
+    """``"HOST:PORT"`` -> ``(host, port)`` with CLI-grade errors."""
+    host, _, port_text = text.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ReproError(f"{flag} expects HOST:PORT, got {text!r}") from None
+    if not host or not (0 < port < 65536):
+        raise ReproError(f"{flag} expects HOST:PORT, got {text!r}")
+    return host, port
+
+
 def serve_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``repro-preview serve``."""
     import asyncio
@@ -256,26 +309,69 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         names = [name.strip() for name in args.datasets.split(",") if name.strip()]
         if not names:
             raise ReproError("--datasets must name at least one domain")
-        hosts = {}
         for name in names:
             if name not in DOMAINS:
                 raise ReproError(
                     f"unknown domain {name!r}; available: {', '.join(DOMAINS)}"
                 )
-            # generate_domain (not the lru-cached load_domain): served
-            # graphs accept mutations and must be private copies.
-            hosts[name] = EngineHost(
-                name,
-                generate_domain(name, scale=args.scale, seed=args.seed),
-                key_scorer=args.key_scorer,
-                nonkey_scorer=args.nonkey_scorer,
-                jobs=args.jobs,
+        if args.role == "router":
+            from .replicate import RouterService
+
+            if not args.writer:
+                raise ReproError("--role router requires --writer HOST:PORT")
+            replicas = [
+                _parse_address(text.strip(), "--replicas")
+                for text in (args.replicas or "").split(",")
+                if text.strip()
+            ]
+            service = RouterService(
+                _parse_address(args.writer, "--writer"),
+                replicas,
+                names,
+                max_pending=args.max_pending,
+                request_timeout=args.timeout,
             )
-        service = PreviewService(
-            hosts,
-            max_pending=args.max_pending,
-            request_timeout=args.timeout,
-        )
+        else:
+            host_class = EngineHost
+            if args.role == "writer":
+                from .replicate import WriterHost
+
+                host_class = WriterHost
+            elif args.role == "replica":
+                from .replicate import ReplicaHost
+
+                host_class = ReplicaHost
+            hosts = {}
+            for name in names:
+                # generate_domain (not the lru-cached load_domain): served
+                # graphs accept mutations and must be private copies.
+                hosts[name] = host_class(
+                    name,
+                    generate_domain(name, scale=args.scale, seed=args.seed),
+                    key_scorer=args.key_scorer,
+                    nonkey_scorer=args.nonkey_scorer,
+                    jobs=args.jobs,
+                )
+            service_kwargs = dict(
+                max_pending=args.max_pending,
+                request_timeout=args.timeout,
+            )
+            if args.role == "writer":
+                from .replicate import WriterService
+
+                service = WriterService(hosts, **service_kwargs)
+            elif args.role == "replica":
+                from .replicate import ReplicaService
+
+                if not args.upstream:
+                    raise ReproError("--role replica requires --upstream HOST:PORT")
+                service = ReplicaService(
+                    hosts,
+                    upstream=_parse_address(args.upstream, "--upstream"),
+                    **service_kwargs,
+                )
+            else:
+                service = PreviewService(hosts, **service_kwargs)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -284,9 +380,9 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         await service.start(args.host, args.port)
         bound_host, bound_port = service.address
         print(
-            f"serving {', '.join(sorted(hosts))} on {bound_host}:{bound_port} "
-            f"(jobs={args.jobs}, max_pending={args.max_pending}, "
-            f"timeout={args.timeout:g}s)",
+            f"serving {', '.join(sorted(names))} on {bound_host}:{bound_port} "
+            f"(role={args.role}, jobs={args.jobs}, "
+            f"max_pending={args.max_pending}, timeout={args.timeout:g}s)",
             flush=True,
         )
         try:
@@ -359,8 +455,8 @@ def build_workload_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--path", default="incremental", metavar="PATH",
         help=(
-            "execution path: serial, incremental, sharded, serve "
-            "(ignored with --diff, which runs all of them)"
+            "execution path: serial, incremental, sharded, serve, "
+            "replicated (ignored with --diff, which runs all of them)"
         ),
     )
     replay.add_argument(
@@ -381,7 +477,10 @@ def build_workload_parser() -> argparse.ArgumentParser:
     add_generation_args(run)
     add_jobs_arg(run)
     run.add_argument(
-        "--paths", default=",".join(("serial", "incremental", "sharded", "serve")),
+        "--paths",
+        default=",".join(
+            ("serial", "incremental", "sharded", "serve", "replicated")
+        ),
         metavar="P1,P2,...", help="comma-separated replay paths to compare",
     )
     return parser

@@ -89,6 +89,11 @@ PLAN_WINDOW = _declare(
     None,  # the cost model owns the numeric default (64)
     "cost-model ring-buffer capacity per (signal, backend) series",
 )
+REPLICATION_WINDOW = _declare(
+    "REPRO_REPLICATION_WINDOW",
+    "1024",
+    "writer-side replication log entries retained for delta catch-up",
+)
 
 
 def raw_knob(name: str) -> Optional[str]:
@@ -165,6 +170,30 @@ def plan_window() -> int:
         ) from None
     if value < 4:
         raise ConfigError(f"{PLAN_WINDOW.name} must be >= 4, got {value}")
+    return value
+
+
+def replication_window() -> int:
+    """Writer-side replication-log retention, entries (default 1024).
+
+    A subscriber whose baseline generation fell behind the retained
+    window bootstraps from a snapshot instead of the delta stream.
+
+    Raises
+    ------
+    ConfigError
+        When ``REPRO_REPLICATION_WINDOW`` is set but not a positive
+        integer.
+    """
+    raw = raw_knob(REPLICATION_WINDOW.name) or "1024"
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{REPLICATION_WINDOW.name} must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigError(f"{REPLICATION_WINDOW.name} must be >= 1, got {value}")
     return value
 
 

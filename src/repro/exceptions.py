@@ -134,6 +134,15 @@ class ProtocolError(ServeError):
         self.code = code
 
 
+class ReplicationError(ServeError):
+    """Errors raised by the replication tier (``repro.replicate``).
+
+    Covers malformed delta/snapshot records on the wire, fingerprint
+    mismatches after a snapshot bootstrap, and attempts to rewind a
+    mutation log's generation counter.
+    """
+
+
 class ServeRequestError(ServeError):
     """A request was rejected by the service (client-side view).
 

@@ -34,8 +34,9 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, FrozenSet, Iterable, Tuple
+from typing import Any, Deque, Dict, FrozenSet, Iterable, List, Tuple
 
+from ..exceptions import ReplicationError
 from .ids import RelationshipTypeId, TypeId
 
 #: Default bound on retained entries; beyond it the oldest entries are
@@ -68,6 +69,66 @@ class MutationDelta:
     def patchable(self) -> bool:
         """True when O(delta) patching is sound (no schema change)."""
         return not (self.structural or self.full)
+
+    # ------------------------------------------------------------------
+    # Wire codec (the replication log ships deltas between processes)
+    # ------------------------------------------------------------------
+    def to_record(self) -> Dict[str, Any]:
+        """The JSON-ready record of this delta.
+
+        Relationship types serialize as ``[name, source_type,
+        target_type]`` triples; both type lists are sorted so equal
+        deltas produce byte-identical records (the replication stream
+        is diffable the same way payloads are).
+        """
+        return {
+            "key_types": sorted(self.key_types),
+            "rel_types": sorted(
+                [r.name, r.source_type, r.target_type] for r in self.rel_types
+            ),
+            "structural": self.structural,
+            "full": self.full,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "MutationDelta":
+        """Decode :meth:`to_record` output back into a delta.
+
+        Raises
+        ------
+        ReplicationError
+            For a malformed record (wrong field types or triple shapes).
+        """
+        if not isinstance(record, dict):
+            raise ReplicationError(
+                f"delta record must be an object, got {type(record).__name__}"
+            )
+        key_types = record.get("key_types", [])
+        rel_types = record.get("rel_types", [])
+        if not isinstance(key_types, list) or not all(
+            isinstance(t, str) for t in key_types
+        ):
+            raise ReplicationError("delta 'key_types' must be a string array")
+        if not isinstance(rel_types, list):
+            raise ReplicationError("delta 'rel_types' must be an array")
+        decoded = []
+        for triple in rel_types:
+            if (
+                not isinstance(triple, (list, tuple))
+                or len(triple) != 3
+                or not all(isinstance(part, str) for part in triple)
+            ):
+                raise ReplicationError(
+                    "delta 'rel_types' entries must be "
+                    "[name, source_type, target_type] string triples"
+                )
+            decoded.append(RelationshipTypeId(*triple))
+        return cls(
+            key_types=frozenset(key_types),
+            rel_types=frozenset(decoded),
+            structural=bool(record.get("structural", False)),
+            full=bool(record.get("full", False)),
+        )
 
 
 #: The "rebuild everything" answer for unknown/ancient baselines.
@@ -109,8 +170,79 @@ class MutationLog:
         return self.generation
 
     # ------------------------------------------------------------------
+    # Replication bootstrap
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> int:
+        """Highest generation already compacted out of the window.
+
+        A baseline strictly below it can only be answered with
+        :data:`FULL_DELTA`; replication subscribers that far behind must
+        bootstrap from a snapshot instead of the delta stream.
+        """
+        return self._horizon
+
+    def fast_forward(self, generation: int) -> None:
+        """Jump this log to ``generation`` with an empty window.
+
+        The snapshot-bootstrap primitive: a replica that restored a
+        graph snapshot taken at writer generation ``G`` replayed fewer
+        mutations than the writer ever applied (snapshots compact
+        idempotent re-adds), so its log must be *renumbered* to ``G``
+        for the replication stream's generation stamps to line up.
+        After the jump the window is empty and the horizon equals the
+        new generation — exactly the state of a fresh log that never
+        saw the pre-snapshot history.
+
+        Raises
+        ------
+        ReplicationError
+            When ``generation`` is behind the log (generations are
+            monotonic; rewinding would corrupt every downstream cache
+            keyed by them).
+        """
+        if generation < self.generation:
+            raise ReplicationError(
+                f"cannot fast-forward a mutation log backwards "
+                f"(at generation {self.generation}, asked for {generation})"
+            )
+        self.generation = generation
+        self._horizon = generation
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
+    def entries_since(self, generation: int) -> List[Tuple[int, MutationDelta]]:
+        """Per-generation deltas after ``generation``, oldest first.
+
+        Unlike :meth:`dirty_since` (which folds the window into one
+        delta), this preserves the per-mutation granularity the
+        replication stream ships.
+
+        Raises
+        ------
+        ReplicationError
+            When ``generation`` predates the retention horizon — the
+            per-entry history no longer exists and the caller must fall
+            back to a snapshot.
+        """
+        if generation < self._horizon:
+            raise ReplicationError(
+                f"generation {generation} predates the retention horizon "
+                f"{self._horizon}; bootstrap from a snapshot instead"
+            )
+        return [
+            (entry_generation, MutationDelta(
+                key_types=frozenset(entry_keys),
+                rel_types=frozenset(entry_rels),
+                structural=entry_structural,
+            ))
+            for entry_generation, entry_keys, entry_rels, entry_structural
+            in self._entries
+            if entry_generation > generation
+        ]
+
     def dirty_since(self, generation: int) -> MutationDelta:
         """Fold every entry after ``generation`` into one delta.
 

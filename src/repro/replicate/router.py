@@ -1,0 +1,352 @@
+"""The front-end router of the replication tier.
+
+A :class:`RouterService` owns no engines at all: it terminates client
+connections with the standard JSON-line framing/admission machinery
+(:class:`~repro.serve.service.LineService`) and forwards each request
+to a backend — mutations to the single writer, reads to a replica
+chosen per dataset by consistent hashing.  Responses pass through
+payload-identically: backends encode results with the same canonical
+JSON the router re-encodes them with, so a routed read is byte-for-byte
+the response the replica produced.
+
+Routing is deterministic.  Each dataset hashes onto a sha256-based ring
+(virtual nodes per replica; Python's randomized ``hash`` is useless
+here — two router processes must agree), yielding a stable preference
+list of replicas.  A read carrying an ``affinity`` integer (the
+workload generator tags multi-client ops with their client id) picks
+``preference[affinity % len]``, pinning each logical client to one
+replica — which is what makes cross-client read-after-write visible:
+client A's untokened read after client B's write may land on a replica
+that has not applied it yet, unless the read carries B's generation
+token.  Reads fail over down the preference list on connection errors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ProtocolError, ServeError
+from ..serve.protocol import decode_frame, encode_frame
+from ..serve.service import LineService
+
+#: Virtual nodes per backend on the consistent-hash ring.
+VNODES = 64
+
+
+def _ring_hash(text: str) -> int:
+    """A process-stable 64-bit hash (sha256 prefix, not ``hash()``)."""
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def build_ring(backends: Sequence[str]) -> List[Tuple[int, str]]:
+    """The sorted consistent-hash ring over backend labels."""
+    ring = [
+        (_ring_hash(f"{backend}#{vnode}"), backend)
+        for backend in backends
+        for vnode in range(VNODES)
+    ]
+    ring.sort()
+    return ring
+
+
+def preference_list(ring: List[Tuple[int, str]], key: str) -> List[str]:
+    """Distinct backends in ring order starting at ``key``'s successor."""
+    if not ring:
+        return []
+    point = _ring_hash(key)
+    start = 0
+    while start < len(ring) and ring[start][0] < point:
+        start += 1
+    seen: List[str] = []
+    for offset in range(len(ring)):
+        backend = ring[(start + offset) % len(ring)][1]
+        if backend not in seen:
+            seen.append(backend)
+    return seen
+
+
+class _Backend:
+    """One lazily-connected JSON-line backend (writer or replica)."""
+
+    def __init__(self, address: Tuple[str, int]) -> None:
+        self.address = address
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        # Lazily bound (3.9 loop affinity, as serve.locks).
+        self._lock: Optional[asyncio.Lock] = None
+
+    @property
+    def label(self) -> str:
+        """The stable ``host:port`` label used on the hash ring."""
+        return f"{self.address[0]}:{self.address[1]}"
+
+    async def call(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip, serialized per backend.
+
+        Raises
+        ------
+        ServeError
+            On transport failure (the connection is dropped so the
+            next call reconnects; callers fail over or surface it).
+        """
+        if self._lock is None:
+            self._lock = asyncio.Lock()
+        async with self._lock:
+            try:
+                if self._writer is None:
+                    self._reader, self._writer = await asyncio.open_connection(
+                        *self.address, limit=1 << 26
+                    )
+                self._writer.write(encode_frame(frame))
+                await self._writer.drain()
+                line = await self._reader.readline()
+            except (ConnectionError, OSError) as exc:
+                await self._drop()
+                raise ServeError(
+                    f"backend {self.label} failed mid-request: {exc}"
+                ) from exc
+            if not line:
+                await self._drop()
+                raise ServeError(f"backend {self.label} closed the connection")
+            return decode_frame(line, max_frame=1 << 26)
+
+    async def _drop(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - already broken
+                pass
+        self._reader = None
+        self._writer = None
+
+    async def aclose(self) -> None:
+        """Drop the connection (idempotent)."""
+        await self._drop()
+
+
+class RouterService(LineService):
+    """Consistent-hash front end over one writer and N replicas.
+
+    Parameters
+    ----------
+    writer:
+        The writer service's ``(host, port)`` address.
+    replicas:
+        Replica service addresses (reads route here; empty means reads
+        fall back to the writer).
+    datasets:
+        The dataset names this router admits (requests for any other
+        name answer ``unknown-dataset``).
+    max_pending, request_timeout, max_frame:
+        See :class:`~repro.serve.service.LineService`.
+
+    Raises
+    ------
+    ServeError
+        When constructed with no datasets.
+    """
+
+    def __init__(
+        self,
+        writer: Tuple[str, int],
+        replicas: Sequence[Tuple[str, int]],
+        datasets: Sequence[str],
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if not datasets:
+            raise ServeError("a RouterService needs at least one dataset name")
+        self.datasets = tuple(datasets)
+        self._writer_backend = _Backend(writer)
+        self._replica_backends = {
+            backend.label: backend
+            for backend in (_Backend(address) for address in replicas)
+        }
+        read_pool = self._replica_backends or {
+            self._writer_backend.label: self._writer_backend
+        }
+        self._read_pool = read_pool
+        ring = build_ring(sorted(read_pool))
+        #: dataset -> replica preference list (stable, hash-ring order).
+        self._preferences: Dict[str, List[str]] = {
+            dataset: preference_list(ring, dataset) for dataset in self.datasets
+        }
+        self._routed = {"writer": 0, "replica": 0, "failover": 0}
+
+    async def aclose(self) -> None:
+        """Close client connections and every backend connection."""
+        await super().aclose()
+        await self._writer_backend.aclose()
+        for backend in self._replica_backends.values():
+            await backend.aclose()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _check_dataset(self, request) -> str:
+        dataset = request.dataset
+        if dataset is None:
+            if len(self.datasets) == 1:
+                return self.datasets[0]
+            raise ProtocolError(
+                "bad-request",
+                f"this router serves {len(self.datasets)} datasets; "
+                f"the request must name one of {sorted(self.datasets)}",
+            )
+        if dataset not in self.datasets:
+            raise ProtocolError(
+                "unknown-dataset",
+                f"unknown dataset {dataset!r}; "
+                f"routed: {', '.join(sorted(self.datasets))}",
+            )
+        return dataset
+
+    async def _forward(
+        self,
+        backend: _Backend,
+        request,
+        params: Dict[str, Any],
+        dataset: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Ship one request to ``backend``; unwrap its response.
+
+        Backend error responses re-raise as :class:`ProtocolError` with
+        the backend's own code, which the line loop maps straight back
+        onto the wire — the router is transparent to error semantics.
+        """
+        frame: Dict[str, Any] = {
+            "op": request.op,
+            "id": request.id,
+            "params": params,
+        }
+        if dataset is not None:
+            frame["dataset"] = dataset
+        response = await backend.call(frame)
+        if response.get("ok"):
+            result = response.get("result")
+            if not isinstance(result, dict):  # pragma: no cover - backend bug
+                raise ProtocolError(
+                    "internal", f"backend {backend.label} returned a bare result"
+                )
+            return result
+        error = response.get("error") or {}
+        raise ProtocolError(
+            str(error.get("code", "internal")),
+            str(error.get("message", f"backend {backend.label} failed")),
+        )
+
+    async def _dispatch(self, request) -> Dict[str, Any]:
+        if request.op == "health":
+            return {"status": "ok", "datasets": sorted(self.datasets)}
+        if request.op == "stats":
+            return await self._stats_op(request)
+        dataset = self._check_dataset(request)
+        if request.op == "mutate":
+            self._routed["writer"] += 1
+            return await self._forward(
+                self._writer_backend, request, dict(request.params), dataset
+            )
+        if request.op in ("preview", "sweep"):
+            return await self._routed_read(dataset, request)
+        raise ProtocolError(
+            "bad-request",
+            f"op {request.op!r} is not supported by this router",
+        )
+
+    async def _routed_read(self, dataset: str, request) -> Dict[str, Any]:
+        """Forward a read to its replica, failing over down the list."""
+        params = dict(request.params)
+        affinity = params.pop("affinity", None)
+        preference = self._preferences[dataset]
+        if (
+            affinity is not None
+            and isinstance(affinity, int)
+            and not isinstance(affinity, bool)
+        ):
+            preference = (
+                preference[affinity % len(preference):]
+                + preference[: affinity % len(preference)]
+            )
+        last_error: Optional[ServeError] = None
+        for label in preference:
+            backend = self._read_pool[label]
+            try:
+                result = await self._forward(backend, request, params, dataset)
+            except ServeError as exc:
+                if isinstance(exc, ProtocolError):
+                    raise  # a structured backend answer, not an outage
+                last_error = exc
+                self._routed["failover"] += 1
+                continue
+            self._routed["replica"] += 1
+            return result
+        raise last_error if last_error is not None else ProtocolError(
+            "internal", f"no replica available for dataset {dataset!r}"
+        )
+
+    async def _stats_op(self, request) -> Dict[str, Any]:
+        """Aggregate router, writer and per-replica stats.
+
+        The writer's generation is authoritative; each replica's lag is
+        recomputed here as ``writer_generation - replica_generation``
+        (never negative), so the surface stays meaningful even when a
+        replica has not heard from the writer recently.
+        """
+        writer_stats: Optional[Dict[str, Any]] = None
+        writer_generation: Optional[int] = None
+        try:
+            writer_stats = await self._forward(
+                self._writer_backend, request, {}
+            )
+            datasets = writer_stats.get("datasets") or []
+            generations = [
+                d.get("replication", {}).get("generation")
+                for d in datasets
+                if isinstance(d, dict)
+            ]
+            generations = [g for g in generations if isinstance(g, int)]
+            if generations:
+                writer_generation = max(generations)
+        except ServeError:
+            pass  # the writer being down must not break stats
+        replicas = []
+        for label in sorted(self._read_pool):
+            if label == self._writer_backend.label and self._replica_backends:
+                continue
+            backend = self._read_pool[label]
+            entry: Dict[str, Any] = {"backend": label}
+            try:
+                stats = await self._forward(backend, request, {})
+            except ServeError as exc:
+                entry["error"] = str(exc)
+                replicas.append(entry)
+                continue
+            entry["service"] = stats.get("service")
+            entry["datasets"] = stats.get("datasets")
+            if writer_generation is not None:
+                lags = []
+                for d in entry.get("datasets") or []:
+                    generation = (
+                        d.get("replication", {}).get("generation")
+                        if isinstance(d, dict)
+                        else None
+                    )
+                    if isinstance(generation, int):
+                        lags.append(max(0, writer_generation - generation))
+                if lags:
+                    entry["lag"] = max(lags)
+            replicas.append(entry)
+        service = self.stats()
+        service["routed"] = dict(self._routed)
+        return {
+            "service": service,
+            "writer": writer_stats,
+            "writer_generation": writer_generation,
+            "replicas": replicas,
+            "preferences": {k: list(v) for k, v in self._preferences.items()},
+        }

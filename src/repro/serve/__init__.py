@@ -42,12 +42,13 @@ from .protocol import (
     ok_response,
     parse_request,
 )
-from .service import BackgroundServer, PreviewService, run_in_background
+from .service import BackgroundServer, LineService, PreviewService, run_in_background
 
 __all__ = [
     "BackgroundServer",
     "ERROR_CODES",
     "EngineHost",
+    "LineService",
     "MAX_FRAME_BYTES",
     "OPERATIONS",
     "PreviewService",

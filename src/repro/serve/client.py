@@ -210,14 +210,21 @@ class ServeClient:
         mode: str = "tight",
         algorithm: str = "auto",
         dataset: Optional[str] = None,
+        min_generation: Optional[int] = None,
     ) -> Dict[str, Any]:
         """One preview query; returns ``{"generation", "result"}``.
+
+        ``min_generation`` is the read-your-writes token against a
+        replicated deployment: a replica answers only once its graph
+        has reached that generation (``lagging`` when it cannot in
+        time).  Standalone services ignore it.
 
         Raises
         ------
         ServeRequestError
             With the wire code (``infeasible``, ``invalid-query``,
-            ``timeout``, ``overloaded``, ...) on error responses.
+            ``timeout``, ``overloaded``, ``lagging``, ...) on error
+            responses.
         """
         params: Dict[str, Any] = {"k": k, "n": n}
         if d is not None:
@@ -225,6 +232,8 @@ class ServeClient:
             params["mode"] = mode
         if algorithm != "auto":
             params["algorithm"] = algorithm
+        if min_generation is not None:
+            params["min_generation"] = min_generation
         return self._result(self.request("preview", params, dataset))
 
     def sweep(
@@ -235,14 +244,21 @@ class ServeClient:
         mode: str = "tight",
         algorithm: str = "auto",
         dataset: Optional[str] = None,
+        min_generation: Optional[int] = None,
     ) -> Dict[str, Any]:
-        """A budget sweep; returns ``{"generation", "results"}``."""
+        """A budget sweep; returns ``{"generation", "results"}``.
+
+        ``min_generation`` has the same read-your-writes semantics as
+        on :meth:`preview`.
+        """
         params: Dict[str, Any] = {"k": k, "ns": list(ns)}
         if d is not None:
             params["d"] = d
             params["mode"] = mode
         if algorithm != "auto":
             params["algorithm"] = algorithm
+        if min_generation is not None:
+            params["min_generation"] = min_generation
         return self._result(self.request("sweep", params, dataset))
 
     def mutate_entity(

@@ -204,6 +204,8 @@ class EngineHost:
                 "EngineHost needs an EntityGraph or IncrementalEntityGraph, "
                 f"got {type(data).__name__}"
             )
+        self.key_scorer = key_scorer
+        self.nonkey_scorer = nonkey_scorer
         self.engine: PreviewEngine = self.graph.engine(key_scorer, nonkey_scorer)
         self.jobs = jobs
         # spawn, never fork: by the time the lazy pool starts, this
@@ -229,6 +231,10 @@ class EngineHost:
 
     #: Bound on distinct cached response payloads per host.
     RESPONSE_CACHE_SIZE = 256
+
+    #: This host's place in a replication topology; the writer/replica
+    #: subclasses in :mod:`repro.replicate` override it.
+    role = "standalone"
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -438,8 +444,23 @@ class EngineHost:
             "mutations": self._mutations,
             "engine": info,
             "coalescer": self._coalescer.stats(),
+            "replication": self.replication_stats(),
             "responses": {
                 "entries": len(self._responses),
                 "hits": self._response_hits,
             },
+        }
+
+    def replication_stats(self) -> Dict[str, Any]:
+        """This host's place in the replication topology, for ``stats``.
+
+        A standalone host is trivially its own writer: generation is
+        authoritative and lag is zero.  The writer/replica subclasses in
+        :mod:`repro.replicate` extend this with subscriber counts and
+        replica lag.
+        """
+        return {
+            "role": self.role,
+            "generation": self.graph.generation,
+            "lag": 0,
         }

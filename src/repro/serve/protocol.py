@@ -41,8 +41,10 @@ from ..exceptions import ProtocolError
 #: serialize past any fixed bound, and clients read to the newline).
 MAX_FRAME_BYTES = 1 << 20
 
-#: Operations a service accepts.
-OPERATIONS = ("preview", "sweep", "mutate", "stats", "health")
+#: Operations a service accepts.  ``subscribe`` upgrades the connection
+#: to a replication stream and is only honored by writer-role services;
+#: everywhere else it answers ``bad-request``.
+OPERATIONS = ("preview", "sweep", "mutate", "stats", "health", "subscribe")
 
 #: Machine-readable error codes a response may carry.
 ERROR_CODES = {
@@ -56,6 +58,8 @@ ERROR_CODES = {
     "overloaded": "admission control rejected the request (queue full)",
     "timeout": "the request exceeded the per-request timeout",
     "internal": "an unexpected server-side error",
+    "read-only": "a mutate was sent to a read replica (only the writer mutates)",
+    "lagging": "the replica could not reach the requested generation in time",
 }
 
 

@@ -55,14 +55,24 @@ from .protocol import (
 logger = logging.getLogger(__name__)
 
 
-class PreviewService:
-    """A multi-dataset preview server over JSON-line TCP.
+class LineService:
+    """Framing, admission and error mapping over JSON-line TCP.
+
+    The transport-level half of a service: everything between the
+    socket and :meth:`_dispatch` — the per-connection line loop,
+    admission control, per-request timeouts, the exception-to-wire-code
+    mapping, and lifecycle.  Subclasses supply the actual request
+    handling (:class:`PreviewService` dispatches to dataset hosts; the
+    replication router in :mod:`repro.replicate` forwards to backends).
+
+    Two optional hooks specialize the line loop without re-implementing
+    it: :meth:`_fast_response` may answer a request synchronously on
+    the event loop (the warm response-cache path), and an op listed in
+    :attr:`STREAMING_OPS` upgrades its connection to a server-push
+    stream via :meth:`_open_stream` (the replication ``subscribe``).
 
     Parameters
     ----------
-    hosts:
-        ``name -> EngineHost`` for every served dataset (or an iterable
-        of hosts, keyed by their names).
     max_pending:
         Admission-control bound on concurrently admitted requests
         across the whole service; request number ``max_pending + 1``
@@ -72,30 +82,18 @@ class PreviewService:
         ``timeout``.  None disables the timeout.
     max_frame:
         Cap on one request line, bytes.
-
-    Raises
-    ------
-    ServeError
-        When constructed with no hosts or duplicate dataset names.
     """
+
+    #: Ops that upgrade their connection to a server-push stream
+    #: instead of the request/response loop (see :meth:`_open_stream`).
+    STREAMING_OPS: tuple = ()
 
     def __init__(
         self,
-        hosts: "Mapping[str, EngineHost] | Iterable[EngineHost]",
         max_pending: int = 64,
         request_timeout: Optional[float] = 30.0,
         max_frame: int = MAX_FRAME_BYTES,
     ) -> None:
-        if isinstance(hosts, Mapping):
-            self._hosts: Dict[str, EngineHost] = dict(hosts)
-        else:
-            self._hosts = {}
-            for host in hosts:
-                if host.name in self._hosts:
-                    raise ServeError(f"duplicate dataset name {host.name!r}")
-                self._hosts[host.name] = host
-        if not self._hosts:
-            raise ServeError("a PreviewService needs at least one dataset host")
         self.max_pending = max_pending
         self.request_timeout = request_timeout
         self.max_frame = max_frame
@@ -134,7 +132,7 @@ class PreviewService:
         await self._server.serve_forever()
 
     async def aclose(self) -> None:
-        """Stop accepting, drop open connections, release every host."""
+        """Stop accepting and drop every open connection."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -143,10 +141,6 @@ class PreviewService:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
-        loop = asyncio.get_running_loop()
-        for host in self._hosts.values():
-            # Worker-thread shutdown joins a thread: off the event loop.
-            await loop.run_in_executor(None, host.close)
 
     # ------------------------------------------------------------------
     # Connections
@@ -224,6 +218,13 @@ class PreviewService:
                 writer.write(fast)
                 await writer.drain()
                 continue
+            stream = self._streaming_request(line)
+            if stream is not None:
+                # The connection is upgraded: the stream owns it until
+                # it ends, and the line loop never resumes (one stream
+                # per connection, trailing requests are undefined).
+                await self._open_stream(stream, writer)
+                return
             response = await self._respond_to_line(line)
             await self._reply(writer, response)
 
@@ -237,43 +238,36 @@ class PreviewService:
     def _fast_response(self, line: bytes) -> Optional[bytes]:
         """The synchronous warm path: a fully-encoded response, or None.
 
-        A ``preview``/``sweep`` request whose payload sits in its host's
-        response cache is answered entirely on the event loop — no
-        per-request task, no timeout timer, no worker-thread hop, no
-        re-serialization; the cached payload bytes are spliced into a
-        frame identical to what the async path would produce.  Anything
-        else — cache misses, mutations, service ops, malformed frames —
-        returns None and takes the full path (which also produces the
-        proper error responses; a request rejected here is never an
-        error).  Cache hits bypass admission control deliberately: they
-        cannot occupy the service, which exists to bound *computations*.
+        The default has no cache to consult; subclasses with one
+        (:class:`PreviewService`) answer warm requests entirely on the
+        event loop.  Returning None is never an error — the full path
+        re-parses the line and produces the proper response.
         """
+        return None
+
+    def _streaming_request(self, line: bytes) -> Optional[Any]:
+        """Parse ``line`` iff it opens a stream (op in STREAMING_OPS).
+
+        Malformed lines return None so the normal request path reports
+        the error with the standard codes.
+        """
+        if not self.STREAMING_OPS:
+            return None
         try:
-            payload = decode_frame(line, self.max_frame)
-            request = parse_request(payload)
+            request = parse_request(decode_frame(line, self.max_frame))
         except ProtocolError:
             return None
-        if request.op not in ("preview", "sweep"):
-            return None
-        try:
-            host = self._resolve_host(request)
-        except ProtocolError:
-            return None
-        encoded = host.encoded_response(request.op, request.params)
-        if encoded is None:
-            return None
-        self._counters["requests"] += 1
-        self._counters["ok"] += 1
-        # Splices to the exact bytes of encode_frame(ok_response(...)):
-        # sort_keys orders id < ok < op < result, same separators.
-        id_json = json.dumps(
-            request.id, sort_keys=True, separators=(", ", ": ")
-        ).encode("utf-8")
-        return (
-            b'{"id": ' + id_json
-            + b', "ok": true, "op": "' + request.op.encode("ascii")
-            + b'", "result": ' + encoded + b"}\n"
-        )
+        return request if request.op in self.STREAMING_OPS else None
+
+    async def _open_stream(
+        self, request: Any, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve a streaming op until it ends (subclass hook).
+
+        Only reached when :attr:`STREAMING_OPS` names the request's op;
+        the base class never streams.
+        """
+        raise NotImplementedError  # pragma: no cover - subclass hook
 
     async def _respond_to_line(self, line: bytes) -> Dict[str, Any]:
         """One request line to one response dict (never raises)."""
@@ -341,6 +335,111 @@ class PreviewService:
                 "internal", f"{type(exc).__name__}: {exc}"
             ) from exc
 
+    async def _dispatch(self, request) -> Dict[str, Any]:
+        """One validated request to one result dict (subclass hook).
+
+        Raise :class:`ProtocolError` (or any :class:`ReproError`) to
+        answer a structured error; the caller maps the codes.
+        """
+        raise NotImplementedError  # pragma: no cover - subclass hook
+
+    def stats(self) -> Dict[str, int]:
+        """Service-level counters (requests, errors, rejections, ...)."""
+        counters = dict(self._counters)
+        counters["active_connections"] = len(self._connections)
+        counters["max_pending"] = self.max_pending
+        return counters
+
+
+class PreviewService(LineService):
+    """A multi-dataset preview server over JSON-line TCP.
+
+    Parameters
+    ----------
+    hosts:
+        ``name -> EngineHost`` for every served dataset (or an iterable
+        of hosts, keyed by their names).
+    max_pending, request_timeout, max_frame:
+        See :class:`LineService`.
+
+    Raises
+    ------
+    ServeError
+        When constructed with no hosts or duplicate dataset names.
+    """
+
+    def __init__(
+        self,
+        hosts: "Mapping[str, EngineHost] | Iterable[EngineHost]",
+        max_pending: int = 64,
+        request_timeout: Optional[float] = 30.0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        super().__init__(
+            max_pending=max_pending,
+            request_timeout=request_timeout,
+            max_frame=max_frame,
+        )
+        if isinstance(hosts, Mapping):
+            self._hosts: Dict[str, EngineHost] = dict(hosts)
+        else:
+            self._hosts = {}
+            for host in hosts:
+                if host.name in self._hosts:
+                    raise ServeError(f"duplicate dataset name {host.name!r}")
+                self._hosts[host.name] = host
+        if not self._hosts:
+            raise ServeError("a PreviewService needs at least one dataset host")
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop open connections, release every host."""
+        await super().aclose()
+        loop = asyncio.get_running_loop()
+        for host in self._hosts.values():
+            # Worker-thread shutdown joins a thread: off the event loop.
+            await loop.run_in_executor(None, host.close)
+
+    def _fast_response(self, line: bytes) -> Optional[bytes]:
+        """The synchronous warm path: a fully-encoded response, or None.
+
+        A ``preview``/``sweep`` request whose payload sits in its host's
+        response cache is answered entirely on the event loop — no
+        per-request task, no timeout timer, no worker-thread hop, no
+        re-serialization; the cached payload bytes are spliced into a
+        frame identical to what the async path would produce.  Anything
+        else — cache misses, mutations, service ops, malformed frames —
+        returns None and takes the full path (which also produces the
+        proper error responses; a request rejected here is never an
+        error).  Cache hits bypass admission control deliberately: they
+        cannot occupy the service, which exists to bound *computations*.
+        """
+        try:
+            payload = decode_frame(line, self.max_frame)
+            request = parse_request(payload)
+        except ProtocolError:
+            return None
+        if request.op not in ("preview", "sweep"):
+            return None
+        try:
+            host = self._resolve_host(request)
+        except ProtocolError:
+            return None
+        encoded = host.encoded_response(request.op, request.params)
+        if encoded is None:
+            return None
+        self._counters["requests"] += 1
+        self._counters["ok"] += 1
+        # Splices to the exact bytes of encode_frame(ok_response(...)):
+        # sort_keys orders id < ok < op < result, same separators.
+        id_json = json.dumps(
+            request.id, sort_keys=True, separators=(", ", ": ")
+        ).encode("utf-8")
+        return (
+            b'{"id": ' + id_json
+            + b', "ok": true, "op": "' + request.op.encode("ascii")
+            + b'", "result": ' + encoded + b"}\n"
+        )
+
     def _resolve_host(self, request) -> EngineHost:
         if request.dataset is None:
             if len(self._hosts) == 1:
@@ -372,19 +471,17 @@ class PreviewService:
             return await host.preview(request.params)
         if request.op == "sweep":
             return await host.sweep(request.params)
-        assert request.op == "mutate", request.op  # parse_request filtered the rest
-        return await host.mutate(request.params)
-
-    def stats(self) -> Dict[str, int]:
-        """Service-level counters (requests, errors, rejections, ...)."""
-        counters = dict(self._counters)
-        counters["active_connections"] = len(self._connections)
-        counters["max_pending"] = self.max_pending
-        return counters
+        if request.op == "mutate":
+            return await host.mutate(request.params)
+        # "subscribe" parses but only writer-role services stream it.
+        raise ProtocolError(
+            "bad-request",
+            f"op {request.op!r} is not supported by this service",
+        )
 
 
 class BackgroundServer:
-    """Handle for a :class:`PreviewService` running in a daemon thread.
+    """Handle for a :class:`LineService` running in a daemon thread.
 
     Attributes
     ----------
@@ -396,7 +493,7 @@ class BackgroundServer:
         caller's thread).
     """
 
-    def __init__(self, service: PreviewService, thread: threading.Thread,
+    def __init__(self, service: LineService, thread: threading.Thread,
                  loop: asyncio.AbstractEventLoop, stop_event: asyncio.Event) -> None:
         self.service = service
         self.host, self.port = service.address
@@ -418,7 +515,7 @@ class BackgroundServer:
 
 
 def run_in_background(
-    service: PreviewService, host: str = "127.0.0.1", port: int = 0
+    service: LineService, host: str = "127.0.0.1", port: int = 0
 ) -> BackgroundServer:
     """Start ``service`` on a daemon thread and wait until it is bound.
 

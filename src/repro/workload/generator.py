@@ -302,6 +302,14 @@ def generate_trace(
     planner = _MutationPlanner(rng, graph, domain)
 
     trace_ops: List[TraceOp] = []
+    # Multi-client presets pin each client's reads to its own replica
+    # (affinity = client id) in replicated deployments: cross-client
+    # read-after-write ordering is only exercised when two clients can
+    # land on *different* replicas, one of which may not have applied a
+    # write yet.  Single-client presets stay unpinned.
+    affinity_of = (
+        (lambda c: c) if spec.clients > 1 else (lambda c: None)
+    )
     while len(trace_ops) < ops:
         client = rng.randrange(spec.clients)
         roll = rng.random()
@@ -320,11 +328,15 @@ def generate_trace(
             params = dict(base.to_params())
             params.pop("n")
             params["ns"] = ns
-            trace_ops.append(TraceOp(op="sweep", params=params, client=client))
+            trace_ops.append(
+                TraceOp(op="sweep", params=params, client=client,
+                        affinity=affinity_of(client))
+            )
         else:
             query = pool[_zipf_pick(rng, weights)]
             trace_ops.append(
-                TraceOp(op="preview", params=query.to_params(), client=client)
+                TraceOp(op="preview", params=query.to_params(), client=client,
+                        affinity=affinity_of(client))
             )
     trace_ops = trace_ops[:ops]
 

@@ -39,6 +39,17 @@ across all four:
     of the replay) sanity-check the host's response-cache/coalescer
     counters.
 
+``replicated``
+    The full replication topology (:mod:`repro.replicate`): one writer
+    host, two read replicas fed by the live delta stream, and a
+    consistent-hashing router in front — four separate services on
+    real sockets.  Mutations go to the writer; every read carries the
+    generation token of the last acknowledged mutation
+    (read-your-writes), so replicas block until caught up and the
+    payloads match the serial oracle byte-for-byte at every step.
+    Reads also carry the op's replica ``affinity`` (falling back to
+    its client id), exercising the router's per-client pinning.
+
 Canonical payloads per op (digested with
 :func:`~repro.workload.trace.payload_digest`):
 
@@ -71,8 +82,8 @@ from ..model.ids import RelationshipTypeId
 from ..serve.host import parse_mutation, parse_query, parse_sweep
 from .trace import TraceOp, WorkloadTrace, payload_digest
 
-#: The four execution paths the differential oracle compares.
-REPLAY_PATHS = ("serial", "incremental", "sharded", "serve")
+#: The five execution paths the differential oracle compares.
+REPLAY_PATHS = ("serial", "incremental", "sharded", "serve", "replicated")
 
 
 @dataclass
@@ -405,6 +416,170 @@ class _ServeReplay:
         self._server.stop()
 
 
+class _ReplicatedReplay:
+    """The replication topology: writer + replicas + router, on sockets."""
+
+    path = "replicated"
+
+    #: Read replicas behind the router (the conformance floor is two —
+    #: a single replica cannot exercise cross-replica ordering).
+    REPLICAS = 2
+
+    def __init__(self, trace: WorkloadTrace) -> None:
+        from ..replicate import (
+            ReplicaHost,
+            ReplicaService,
+            RouterService,
+            WriterHost,
+            WriterService,
+        )
+        from ..serve import ServeClient, run_in_background
+
+        self._trace = trace
+        self._client_factory = ServeClient
+        self._writer_host = WriterHost(
+            trace.domain,
+            _starting_graph(trace),
+            key_scorer=trace.key_scorer,
+            nonkey_scorer=trace.nonkey_scorer,
+        )
+        self._writer = run_in_background(
+            WriterService({trace.domain: self._writer_host})
+        )
+        self._replica_hosts = []
+        self._replicas = []
+        for _ in range(self.REPLICAS):
+            host = ReplicaHost(
+                trace.domain,
+                _starting_graph(trace),
+                key_scorer=trace.key_scorer,
+                nonkey_scorer=trace.nonkey_scorer,
+            )
+            self._replica_hosts.append(host)
+            self._replicas.append(
+                run_in_background(
+                    ReplicaService(
+                        {trace.domain: host},
+                        upstream=("127.0.0.1", self._writer.port),
+                    )
+                )
+            )
+        self._router = run_in_background(
+            RouterService(
+                writer=("127.0.0.1", self._writer.port),
+                replicas=[
+                    ("127.0.0.1", server.port) for server in self._replicas
+                ],
+                datasets=[trace.domain],
+            )
+        )
+        self._clients: Dict[int, Any] = {}
+        #: The read-your-writes token: the generation of the last
+        #: acknowledged mutation.  Global (not per-client) — the trace
+        #: order is the total order every path linearizes to, so *any*
+        #: read after a write must observe it regardless of client.
+        self._token: Optional[int] = None
+
+    def _client(self, client_id: int):
+        client = self._clients.get(client_id)
+        if client is None:
+            client = self._client_factory(port=self._router.port, timeout=120.0)
+            self._clients[client_id] = client
+        return client
+
+    def _read_params(self, op: TraceOp) -> Dict[str, Any]:
+        params = dict(op.params)
+        if self._token is not None:
+            params["min_generation"] = self._token
+        params["affinity"] = op.affinity if op.affinity is not None else op.client
+        return params
+
+    def _check_stats(self, stats: Dict[str, Any]) -> None:
+        """Sanity-check one router ``stats`` payload.
+
+        Raises
+        ------
+        WorkloadError
+            When the topology is missing replicas, a replica reports
+            negative lag accounting, or a replica generation overtakes
+            the writer's.
+        """
+        replicas = stats.get("replicas") or []
+        if len(replicas) != self.REPLICAS:
+            raise WorkloadError(
+                f"replicated: router reports {len(replicas)} replicas, "
+                f"expected {self.REPLICAS}"
+            )
+        writer_generation = stats.get("writer_generation")
+        for entry in replicas:
+            if "error" in entry:
+                raise WorkloadError(
+                    f"replicated: replica {entry.get('backend')} unreachable: "
+                    f"{entry['error']}"
+                )
+            for dataset in entry.get("datasets") or []:
+                replication = dataset.get("replication") or {}
+                if replication.get("role") != "replica":
+                    raise WorkloadError(
+                        f"replicated: backend {entry.get('backend')} reports "
+                        f"role {replication.get('role')!r}"
+                    )
+                lag = replication.get("lag")
+                if not isinstance(lag, int) or lag < 0:
+                    raise WorkloadError(
+                        f"replicated: replica lag must be a non-negative "
+                        f"integer, got {lag!r}"
+                    )
+                generation = replication.get("generation")
+                if (
+                    isinstance(writer_generation, int)
+                    and isinstance(generation, int)
+                    and generation > writer_generation
+                ):
+                    raise WorkloadError(
+                        f"replicated: replica generation {generation} is ahead "
+                        f"of the writer generation {writer_generation}"
+                    )
+
+    def apply(self, op: TraceOp) -> Optional[Dict[str, Any]]:
+        client = self._client(op.client)
+        if op.op == "mutate":
+            payload = client.call("mutate", op.params)
+            self._token = payload["generation"]
+            return payload
+        if op.op == "preview":
+            try:
+                result = client.call("preview", self._read_params(op))
+            except ServeRequestError as exc:
+                if exc.code != "infeasible":
+                    raise
+                return {"result": None}
+            return {"result": result["result"]}
+        if op.op == "sweep":
+            result = client.call("sweep", self._read_params(op))
+            return {"results": result["results"]}
+        self._check_stats(client.stats())
+        return None
+
+    def finish(self) -> Dict[str, Any]:
+        stats = self._client(0).stats()
+        self._check_stats(stats)
+        return {
+            "service": stats["service"],
+            "writer_generation": stats.get("writer_generation"),
+            "replicas": stats.get("replicas"),
+        }
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+        self._router.stop()
+        for server in self._replicas:
+            server.stop()
+        self._writer.stop()
+
+
 def _make_replayer(trace: WorkloadTrace, path: str, jobs: int):
     if path == "serial":
         return _SerialReplay(trace)
@@ -419,6 +594,8 @@ def _make_replayer(trace: WorkloadTrace, path: str, jobs: int):
         return _IncrementalReplay(trace, jobs=jobs)
     if path == "serve":
         return _ServeReplay(trace)
+    if path == "replicated":
+        return _ReplicatedReplay(trace)
     raise WorkloadError(
         f"unknown replay path {path!r}; available: {', '.join(REPLAY_PATHS)}"
     )

@@ -84,6 +84,13 @@ class TraceOp:
         Logical client id (drives the serve replayer's
         connection-per-client mapping; the trace order is the total
         order regardless).
+    affinity:
+        Replica-affinity hint for replicated deployments: the router
+        pins ops sharing an affinity value to the same replica, which
+        is what makes cross-client read-after-write ordering visible
+        (two clients on different replicas observe a write at
+        different times unless a generation token is used).  None
+        means unpinned; replayers fall back to ``client``.
     digest:
         Expected payload digest recorded at capture time, or None.
     """
@@ -92,12 +99,15 @@ class TraceOp:
     params: Dict[str, Any] = field(default_factory=dict)
     client: int = 0
     digest: Optional[str] = None
+    affinity: Optional[int] = None
 
     def to_record(self) -> Dict[str, Any]:
         """The JSON record of this op (one trace line)."""
         record: Dict[str, Any] = {"op": self.op, "client": self.client}
         if self.params:
             record["params"] = self.params
+        if self.affinity is not None:
+            record["affinity"] = self.affinity
         if self.digest is not None:
             record["digest"] = self.digest
         return record
@@ -126,10 +136,21 @@ class TraceOp:
             raise WorkloadError(
                 f"trace line {line}: 'client' must be a non-negative integer"
             )
+        affinity = record.get("affinity")
+        if affinity is not None and (
+            not isinstance(affinity, int)
+            or isinstance(affinity, bool)
+            or affinity < 0
+        ):
+            raise WorkloadError(
+                f"trace line {line}: 'affinity' must be a non-negative integer"
+            )
         digest = record.get("digest")
         if digest is not None and not isinstance(digest, str):
             raise WorkloadError(f"trace line {line}: 'digest' must be a string")
-        return cls(op=op, params=params, client=client, digest=digest)
+        return cls(
+            op=op, params=params, client=client, digest=digest, affinity=affinity
+        )
 
 
 @dataclass(frozen=True)

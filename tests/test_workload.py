@@ -283,7 +283,9 @@ class TestReplayAndOracle:
         assert not report["recorded_digests"]["ok"]
 
     def test_replay_paths_constant_matches_makers(self):
-        assert set(REPLAY_PATHS) == {"serial", "incremental", "sharded", "serve"}
+        assert set(REPLAY_PATHS) == {
+            "serial", "incremental", "sharded", "serve", "replicated",
+        }
 
 
 # ----------------------------------------------------------------------

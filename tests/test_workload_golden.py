@@ -1,4 +1,4 @@
-"""Replay the committed golden workload trace through all four paths.
+"""Replay the committed golden workload trace through every path.
 
 ``tests/data/workload_golden.jsonl`` is a captured mixed read/write
 session (Zipf-skewed hot queries, entity/relationship mutations,
@@ -135,8 +135,93 @@ def test_golden_digests_reproduce_under_every_plan_mode(golden, mode):
     )
 
 
+def test_golden_replicated_reads_at_every_generation_token(golden):
+    """At every golden mutation's generation token, the replicas agree.
+
+    The parametrized replay above already proves the ``replicated``
+    topology reproduces the recorded payloads in trace order.  This
+    test pins the stronger per-token guarantee: after *each* of the
+    golden trace's mutations, a read carrying that mutation's
+    generation token answers **byte-identically** on the writer and on
+    both replicas — i.e. read-your-writes holds at every generation
+    the trace ever produced, not just at the end.
+    """
+    import json
+
+    from repro.replicate import (
+        ReplicaHost,
+        ReplicaService,
+        WriterHost,
+        WriterService,
+    )
+    from repro.serve import ServeClient, run_in_background
+    from repro.workload.replay import _starting_graph
+
+    def canonical(payload) -> str:
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    probe = dict(
+        next(op for op in golden.ops if op.op == "preview").params
+    )
+    writer_host = WriterHost(
+        golden.domain,
+        _starting_graph(golden),
+        key_scorer=golden.key_scorer,
+        nonkey_scorer=golden.nonkey_scorer,
+    )
+    servers = [
+        run_in_background(WriterService({golden.domain: writer_host}))
+    ]
+    try:
+        for _ in range(2):
+            host = ReplicaHost(
+                golden.domain,
+                _starting_graph(golden),
+                key_scorer=golden.key_scorer,
+                nonkey_scorer=golden.nonkey_scorer,
+            )
+            servers.append(
+                run_in_background(
+                    ReplicaService(
+                        {golden.domain: host},
+                        upstream=("127.0.0.1", servers[0].port),
+                    )
+                )
+            )
+        clients = [
+            ServeClient(port=server.port, dataset=golden.domain, timeout=120.0)
+            for server in servers
+        ]
+        try:
+            tokens = []
+            for op in golden.ops:
+                if op.op != "mutate":
+                    continue
+                token = clients[0].call("mutate", op.params)["generation"]
+                tokens.append(token)
+                payloads = [
+                    canonical(
+                        client.call(
+                            "preview", dict(probe, min_generation=token)
+                        )
+                    )
+                    for client in clients
+                ]
+                assert payloads[1] == payloads[0] and payloads[2] == payloads[0], (
+                    f"replica payloads diverged at generation token {token}"
+                )
+            assert len(tokens) == 12  # every golden mutation was exercised
+            assert tokens == sorted(tokens)
+        finally:
+            for client in clients:
+                client.close()
+    finally:
+        for server in reversed(servers):
+            server.stop()
+
+
 def test_golden_conformance_across_paths(golden):
-    """The differential oracle agrees with itself across all four paths."""
+    """The differential oracle agrees with itself across every path."""
     report = run_conformance(golden, jobs=JOBS)
     assert report["identical"], report["first_divergence"]
     assert report["recorded_digests"]["ok"], report["recorded_digests"]
