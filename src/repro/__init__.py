@@ -66,7 +66,7 @@ from .model import (
 from .scoring import ScoringContext
 from .store import TripleStore
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "DISCOVERY_ALGORITHMS",

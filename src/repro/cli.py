@@ -46,6 +46,16 @@ incremental, sharded, serve and replicated execution paths
 
     repro-preview workload record --domain film --ops 200 --out trace.jsonl
     repro-preview workload replay trace.jsonl --diff --jobs 2
+
+Build a persistent binary store once, then cold-open it everywhere a
+graph is accepted — O(header) instead of regeneration
+(``docs/disk-store.md``)::
+
+    repro-preview dataset build --domain film --out film.rgs
+    repro-preview dataset info film.rgs --verify
+    repro-preview --file film.rgs --tables 3 --attrs 9
+    repro-preview serve --store film.rgs --port 9400
+    repro-preview workload replay trace.jsonl --diff --store film.rgs
 """
 
 from __future__ import annotations
@@ -78,7 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     source.add_argument(
         "--file",
-        help="dataset file (.tsv or .jsonl in the repro triple format)",
+        help=(
+            "dataset file (.tsv/.jsonl in the repro triple format, or a "
+            ".rgs binary store built by `dataset build`)"
+        ),
     )
     parser.add_argument("--tables", "-k", type=int, default=3, help="preview tables (k)")
     parser.add_argument(
@@ -207,6 +220,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--store",
+        metavar="PATHS",
+        help=(
+            "comma-separated .rgs binary store files to host instead of "
+            "--datasets; each cold-opens in O(header) and serves under "
+            "its stored graph name (docs/disk-store.md)"
+        ),
+    )
+    parser.add_argument(
         "--role",
         choices=("standalone", "writer", "replica", "router"),
         default="standalone",
@@ -306,14 +328,41 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
 
     args = build_serve_parser().parse_args(argv)
     try:
-        names = [name.strip() for name in args.datasets.split(",") if name.strip()]
-        if not names:
-            raise ReproError("--datasets must name at least one domain")
-        for name in names:
-            if name not in DOMAINS:
+        store_paths = [
+            text.strip() for text in (args.store or "").split(",") if text.strip()
+        ]
+        graphs = {}
+        if store_paths:
+            if args.role == "router":
                 raise ReproError(
-                    f"unknown domain {name!r}; available: {', '.join(DOMAINS)}"
+                    "--store does not apply to --role router (a router owns "
+                    "no engines; point --writer/--replicas at store-backed "
+                    "services instead)"
                 )
+            from .store import open_store
+
+            for path in store_paths:
+                # O(header) cold open: the graph materializes from the
+                # mapped sections, fingerprint-verified, instead of being
+                # regenerated from the domain profiles.
+                with open_store(path) as store_file:
+                    graph = store_file.entity_graph()
+                if graph.name in graphs:
+                    raise ReproError(
+                        f"duplicate stored graph name {graph.name!r} "
+                        f"across --store files"
+                    )
+                graphs[graph.name] = graph
+            names = list(graphs)
+        else:
+            names = [name.strip() for name in args.datasets.split(",") if name.strip()]
+            if not names:
+                raise ReproError("--datasets must name at least one domain")
+            for name in names:
+                if name not in DOMAINS:
+                    raise ReproError(
+                        f"unknown domain {name!r}; available: {', '.join(DOMAINS)}"
+                    )
         if args.role == "router":
             from .replicate import RouterService
 
@@ -344,10 +393,14 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
             hosts = {}
             for name in names:
                 # generate_domain (not the lru-cached load_domain): served
-                # graphs accept mutations and must be private copies.
+                # graphs accept mutations and must be private copies.  A
+                # store-opened graph is already private to this process.
+                graph = graphs.get(name) or generate_domain(
+                    name, scale=args.scale, seed=args.seed
+                )
                 hosts[name] = host_class(
                     name,
-                    generate_domain(name, scale=args.scale, seed=args.seed),
+                    graph,
                     key_scorer=args.key_scorer,
                     nonkey_scorer=args.nonkey_scorer,
                     jobs=args.jobs,
@@ -438,6 +491,16 @@ def build_workload_parser() -> argparse.ArgumentParser:
             help="worker processes for the sharded path (default 2)",
         )
 
+    def add_store_arg(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store", metavar="STORE.rgs",
+            help=(
+                "open the starting graph from a .rgs binary store "
+                "(fingerprint-checked against the trace header) instead "
+                "of regenerating the domain"
+            ),
+        )
+
     record = commands.add_parser(
         "record",
         help="generate a scenario, record payload digests, write a JSONL trace",
@@ -464,12 +527,14 @@ def build_workload_parser() -> argparse.ArgumentParser:
         help="replay through every path and diff the payloads op by op",
     )
     add_jobs_arg(replay)
+    add_store_arg(replay)
 
     diff = commands.add_parser(
         "diff", help="shorthand for `replay --diff` (all paths, differential)"
     )
     diff.add_argument("trace", metavar="TRACE.jsonl", help="trace file to diff")
     add_jobs_arg(diff)
+    add_store_arg(diff)
 
     run = commands.add_parser(
         "run", help="generate a scenario and run the conformance oracle on it"
@@ -486,10 +551,12 @@ def build_workload_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _workload_diff(trace, jobs: int, paths=None) -> int:
+def _workload_diff(trace, jobs: int, paths=None, store=None) -> int:
     from .workload import REPLAY_PATHS, format_report, run_conformance
 
-    report = run_conformance(trace, paths=paths or REPLAY_PATHS, jobs=jobs)
+    report = run_conformance(
+        trace, paths=paths or REPLAY_PATHS, jobs=jobs, store=store
+    )
     print(format_report(report))
     ok = report["identical"] and report["recorded_digests"]["ok"]
     return 0 if ok else 1
@@ -528,9 +595,10 @@ def workload_main(argv: Optional[List[str]] = None) -> int:
             return _workload_diff(trace, args.jobs, paths=paths)
         trace = WorkloadTrace.load(args.trace)
         if args.command == "diff" or args.diff:
-            return _workload_diff(trace, args.jobs)
+            return _workload_diff(trace, args.jobs, store=args.store)
         result = replay_trace(
-            trace, path=args.path, jobs=args.jobs, verify_digests=True
+            trace, path=args.path, jobs=args.jobs, verify_digests=True,
+            store=args.store,
         )
         print(
             f"{result.path}: {result.ops} ops in {result.seconds:.3f}s "
@@ -556,6 +624,90 @@ def workload_main(argv: Optional[List[str]] = None) -> int:
         return 1
 
 
+def build_dataset_parser() -> argparse.ArgumentParser:
+    """The ``repro-preview dataset`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-preview dataset",
+        description=(
+            "Build and inspect persistent binary graph stores "
+            "(docs/disk-store.md)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser(
+        "build",
+        help="serialize a domain or dataset file into a .rgs binary store",
+    )
+    source = build.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--domain", choices=DOMAINS, help="built-in domain to store"
+    )
+    source.add_argument(
+        "--file", help="dataset file to store (.tsv/.jsonl)"
+    )
+    build.add_argument(
+        "--scale", type=int, default=1000, help="domain downscale factor"
+    )
+    build.add_argument("--seed", type=int, default=0, help="generation seed")
+    build.add_argument(
+        "--out", "-o", required=True, metavar="STORE.rgs",
+        help="where to write the store file",
+    )
+
+    info = commands.add_parser(
+        "info",
+        help="print a store's header summary (O(header), JSON)",
+    )
+    info.add_argument("path", metavar="STORE.rgs", help="store file to inspect")
+    info.add_argument(
+        "--verify", action="store_true",
+        help=(
+            "additionally materialize the graph and check it against the "
+            "header fingerprint (O(data))"
+        ),
+    )
+    return parser
+
+
+def dataset_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-preview dataset``."""
+    import json
+
+    from .datasets.loader import graph_fingerprint
+    from .store import STORE_EXTENSION, build_store, open_store
+
+    args = build_dataset_parser().parse_args(argv)
+    try:
+        if args.command == "build":
+            if not args.out.endswith(STORE_EXTENSION):
+                raise ReproError(
+                    f"--out must end with {STORE_EXTENSION}, got {args.out!r}"
+                )
+            if args.domain:
+                graph = generate_domain(
+                    args.domain, scale=args.scale, seed=args.seed
+                )
+            else:
+                graph = load_domain_file(args.file)
+            total = build_store(graph, args.out)
+            print(
+                f"stored {graph.name}: {total} bytes, "
+                f"fingerprint {graph_fingerprint(graph)} -> {args.out}"
+            )
+            return 0
+        with open_store(args.path) as store_file:
+            summary = store_file.describe()
+            if args.verify:
+                store_file.entity_graph(verify=True)
+                summary["verified"] = True
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def lint_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of ``repro-preview lint``."""
     from .lint import main as run_lint
@@ -570,6 +722,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "workload":
         return workload_main(argv[1:])
+    if argv and argv[0] == "dataset":
+        return dataset_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
     parser = build_parser()

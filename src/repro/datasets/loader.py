@@ -12,6 +12,7 @@ from typing import Union
 
 from ..exceptions import DatasetError
 from ..model.entity_graph import EntityGraph
+from ..store.disk import STORE_EXTENSION, build_store, open_store
 from ..store.persistence import load_jsonl, load_tsv, save_jsonl, save_tsv
 from ..store.schema_extract import entity_graph_from_store, store_from_entity_graph
 
@@ -49,26 +50,43 @@ def graph_fingerprint(graph: EntityGraph) -> str:
 
 
 def save_domain(graph: EntityGraph, path: PathLike) -> int:
-    """Persist an entity graph; format chosen by extension (.tsv/.jsonl).
+    """Persist an entity graph; format chosen by extension.
 
-    Returns the number of rows written.
+    ``.tsv``/``.jsonl`` write the row-per-triple text formats and return
+    the number of rows written; ``.rgs`` writes the binary graph store
+    (:func:`repro.store.build_store`) and returns the bytes written.
     """
     text = str(path)
+    if text.endswith(STORE_EXTENSION):
+        return build_store(graph, path)
     store = store_from_entity_graph(graph)
     if text.endswith(".tsv"):
         return save_tsv(store, path)
     if text.endswith(".jsonl"):
         return save_jsonl(store, path)
-    raise DatasetError(f"unsupported dataset extension: {text!r} (use .tsv/.jsonl)")
+    raise DatasetError(
+        f"unsupported dataset extension: {text!r} (use .tsv/.jsonl/{STORE_EXTENSION})"
+    )
 
 
 def load_domain_file(path: PathLike, name: str = "entity-graph") -> EntityGraph:
-    """Reload an entity graph saved by :func:`save_domain`."""
+    """Reload an entity graph saved by :func:`save_domain`.
+
+    For ``.rgs`` store files the graph's *stored* name and generation
+    are authoritative (``name`` is ignored) and the materialized graph
+    is verified against the header fingerprint.
+    """
     text = str(path)
+    if text.endswith(STORE_EXTENSION):
+        with open_store(path) as store_file:
+            return store_file.entity_graph()
     if text.endswith(".tsv"):
         store = load_tsv(path)
     elif text.endswith(".jsonl"):
         store = load_jsonl(path)
     else:
-        raise DatasetError(f"unsupported dataset extension: {text!r} (use .tsv/.jsonl)")
+        raise DatasetError(
+            f"unsupported dataset extension: {text!r} "
+            f"(use .tsv/.jsonl/{STORE_EXTENSION})"
+        )
     return entity_graph_from_store(store, name=name)

@@ -814,16 +814,18 @@ class PreviewEngine:
     def _current_snapshot(self, pool):
         """The worker-pool snapshot for ``pool``, refreshed in O(delta).
 
-        Built once, then patched with the types dirtied since the last
-        parallel build (see :meth:`~repro.parallel.ScoringSnapshot.refresh`)
-        — untouched rows keep their already-projected float tuples, so a
-        long-lived executor stays warm across mutations.  Full
-        invalidations reset it.
+        Built once — as a zero-copy mmap-backed snapshot or a picklable
+        tuple snapshot per the ``REPRO_SNAPSHOT`` knob
+        (:func:`~repro.parallel.make_snapshot`) — then patched with the
+        types dirtied since the last parallel build (see
+        :meth:`~repro.parallel.ScoringSnapshot.refresh`): untouched rows
+        keep their already-projected scores, so a long-lived executor
+        stays warm across mutations.  Full invalidations reset it.
         """
-        from ..parallel import ScoringSnapshot
+        from ..parallel import make_snapshot
 
         if self._snapshot is None:
-            self._snapshot = ScoringSnapshot.from_pool(pool)
+            self._snapshot = make_snapshot(pool)
         elif self._snapshot_dirty:
             self._snapshot = self._snapshot.refresh(pool, self._snapshot_dirty)
         self._snapshot_dirty.clear()

@@ -71,6 +71,17 @@ class PersistenceError(StoreError):
     """A dataset file could not be read or written."""
 
 
+class DiskStoreError(StoreError):
+    """A binary store file is unreadable, corrupt or untrustworthy.
+
+    Raised by :mod:`repro.store.disk` for every corruption shape —
+    truncation, a bad magic/version, section bounds outside the file,
+    dangling dictionary offsets, or a materialized graph whose
+    fingerprint no longer matches the header — so a damaged store file
+    always fails loudly instead of answering queries from bad data.
+    """
+
+
 class ScoringError(ReproError):
     """Errors raised by scoring measures (``repro.scoring``)."""
 

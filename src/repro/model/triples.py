@@ -38,10 +38,17 @@ def entity_graph_to_triples(graph: EntityGraph) -> Iterator[Triple]:
     """Encode ``graph`` losslessly as a deterministic triple stream.
 
     Typing triples come first (so decoding can validate relationship
-    endpoints on the fly), then relationship triples.
+    endpoints on the fly), then relationship triples.  Entities stream in
+    insertion order and each entity's types in the graph's *global*
+    first-seen type order — the same codec
+    :func:`~repro.replicate.snapshot.capture_snapshot` uses — so a
+    decoder replaying the stream reproduces the entity insertion order
+    and the first-seen type order the scorers observe, not merely the
+    same extensional content.
     """
+    type_rank = {t: i for i, t in enumerate(graph.entity_types())}
     for entity in graph.entities():
-        for type_name in sorted(graph.types_of(entity)):
+        for type_name in sorted(graph.types_of(entity), key=type_rank.__getitem__):
             yield Triple(entity, TYPE_PREDICATE, type_name)
     for source, target, rel_type in graph.relationships():
         yield Triple(source, qualified_name(rel_type), target)

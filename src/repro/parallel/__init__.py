@@ -37,10 +37,12 @@ machine's CPU count.
 """
 
 from .executor import ShardedExecutor, resolve_jobs
-from .snapshot import ScoringSnapshot
+from .snapshot import MappedScoringSnapshot, ScoringSnapshot, make_snapshot
 
 __all__ = [
+    "MappedScoringSnapshot",
     "ScoringSnapshot",
     "ShardedExecutor",
+    "make_snapshot",
     "resolve_jobs",
 ]

@@ -45,6 +45,7 @@ import os
 import pickle
 import threading
 import time
+import weakref
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -246,10 +247,18 @@ class Planner:
             "fallback": 0,
             "vetoed_single_core": 0,
         }
-        #: Snapshot objects already measured (id -> payload bytes),
-        #: FIFO-bounded — measuring costs one pickle per snapshot
-        #: lifetime, so it must never repeat per dispatch.
-        self._measured_snapshots: "Dict[int, int]" = {}
+        #: Snapshot objects already measured (id -> weakref to the
+        #: snapshot), FIFO-bounded — measuring costs one pickle per
+        #: snapshot lifetime, so it must never repeat per dispatch.
+        #: The weakref guards against CPython id reuse: a hit only
+        #: counts when the stored reference still resolves to the very
+        #: object being asked about, so a fresh snapshot allocated at a
+        #: dead snapshot's address is measured independently.
+        #: Unweakrefable snapshots (plain dicts in tests) are memoized
+        #: by strong reference instead — holding the object pins its id,
+        #: so reuse is equally impossible, at the cost of keeping at
+        #: most 16 of them alive.
+        self._measured_snapshots: Dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Decisions
@@ -428,20 +437,34 @@ class Planner:
         Called by the sharded executor right before a pool dispatch; the
         measurement costs one extra ``pickle.dumps``, so it is keyed by
         object identity and never repeated for a snapshot the executor
-        re-ships across calls.
+        re-ships across calls.  A memo hit requires the stored weak
+        reference to resolve to ``snapshot`` itself — ``id()`` alone is
+        not enough, because CPython recycles addresses after GC and a
+        fresh snapshot must never inherit a dead snapshot's cost.
         """
         key = id(snapshot)
         with self._lock:
-            if key in self._measured_snapshots:
-                return
+            entry = self._measured_snapshots.get(key)
+            if entry is not None:
+                target = entry() if isinstance(entry, weakref.ref) else entry
+                if target is snapshot:
+                    return
+        try:
+            memo_entry: object = weakref.ref(snapshot)
+        except TypeError:
+            # Unweakrefable: memoize the object itself (pins the id).
+            memo_entry = snapshot
         start = time.perf_counter()
         payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
         elapsed = time.perf_counter() - start
         with self._lock:
-            if len(self._measured_snapshots) >= 16:
+            if (
+                key not in self._measured_snapshots
+                and len(self._measured_snapshots) >= 16
+            ):
                 oldest = next(iter(self._measured_snapshots))
                 del self._measured_snapshots[oldest]
-            self._measured_snapshots[key] = len(payload)
+            self._measured_snapshots[key] = memo_entry
             self.model.observe_snapshot(len(payload), elapsed)
 
     # ------------------------------------------------------------------

@@ -1,5 +1,12 @@
-"""Triple-store substrate: indexed storage, pattern queries, persistence."""
+"""Triple-store substrate: indexed storage, pattern queries, persistence.
 
+:mod:`repro.store.disk` adds the persistent binary backend — a single
+``.rgs`` file with a sorted string dictionary, mmap-backed triple
+permutations and interval indexes — opened in O(header) time by
+:func:`open_store`.
+"""
+
+from .disk import STORE_EXTENSION, DiskGraphStore, build_store, open_store
 from .persistence import load_jsonl, load_tsv, save_jsonl, save_tsv
 from .query import is_variable, match_pattern, query, select
 from .schema_extract import (
@@ -10,12 +17,16 @@ from .schema_extract import (
 from .triple_store import TripleStore
 
 __all__ = [
+    "STORE_EXTENSION",
+    "DiskGraphStore",
     "TripleStore",
+    "build_store",
     "entity_graph_from_store",
     "is_variable",
     "load_jsonl",
     "load_tsv",
     "match_pattern",
+    "open_store",
     "query",
     "save_jsonl",
     "save_tsv",

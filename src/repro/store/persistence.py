@@ -23,6 +23,8 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 _ESCAPES = {"\\": "\\\\", "\t": "\\t", "\n": "\\n", "\r": "\\r"}
 
+_UNESCAPES = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}
+
 
 def _escape(term: str) -> str:
     out = term
@@ -31,18 +33,34 @@ def _escape(term: str) -> str:
     return out
 
 
-def _unescape(term: str) -> str:
+def _unescape(term: str, location: str = "<term>") -> str:
+    """Decode one escaped TSV term; malformed escapes fail loudly.
+
+    ``location`` (``path:line``) prefixes the diagnostics.  An unknown
+    escape sequence (``\\x``) or a trailing lone backslash means the
+    term was not produced by :func:`save_tsv` — decoding it silently
+    would hand a mangled term to the store, so both raise
+    :class:`~repro.exceptions.PersistenceError` instead.
+    """
     out = []
     i = 0
     while i < len(term):
         ch = term[i]
-        if ch == "\\" and i + 1 < len(term):
+        if ch == "\\":
+            if i + 1 >= len(term):
+                raise PersistenceError(
+                    f"{location}: trailing lone backslash in term {term!r}"
+                )
             nxt = term[i + 1]
-            mapped = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}.get(nxt)
-            if mapped is not None:
-                out.append(mapped)
-                i += 2
-                continue
+            mapped = _UNESCAPES.get(nxt)
+            if mapped is None:
+                raise PersistenceError(
+                    f"{location}: unknown escape sequence "
+                    f"'\\{nxt}' in term {term!r}"
+                )
+            out.append(mapped)
+            i += 2
+            continue
         out.append(ch)
         i += 1
     return "".join(out)
@@ -89,8 +107,18 @@ def load_tsv(path: PathLike) -> TripleStore:
                     raise PersistenceError(
                         f"{path!s}:{line_number}: bad count {count_text!r}"
                     ) from None
+                if count <= 0:
+                    raise PersistenceError(
+                        f"{path!s}:{line_number}: count must be >= 1, "
+                        f"got {count}"
+                    )
+                location = f"{path!s}:{line_number}"
                 store.add(
-                    Triple(_unescape(subject), _unescape(predicate), _unescape(obj)),
+                    Triple(
+                        _unescape(subject, location),
+                        _unescape(predicate, location),
+                        _unescape(obj, location),
+                    ),
                     count=count,
                 )
     except OSError as exc:
@@ -131,11 +159,22 @@ def load_jsonl(path: PathLike) -> TripleStore:
                     continue
                 try:
                     record = json.loads(line)
+                    count = int(record.get("n", 1))
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                    raise PersistenceError(
+                        f"{path!s}:{line_number}: malformed record: {exc}"
+                    ) from exc
+                if count <= 0:
+                    raise PersistenceError(
+                        f"{path!s}:{line_number}: count must be >= 1, "
+                        f"got {count}"
+                    )
+                try:
                     store.add(
                         Triple(record["s"], record["p"], record["o"]),
-                        count=int(record.get("n", 1)),
+                        count=count,
                     )
-                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                except (KeyError, TypeError, ValueError) as exc:
                     raise PersistenceError(
                         f"{path!s}:{line_number}: malformed record: {exc}"
                     ) from exc

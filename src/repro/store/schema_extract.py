@@ -27,13 +27,29 @@ def entity_graph_from_store(store: TripleStore, name: str = "entity-graph") -> E
 
     Processes all typing triples first, so relationship triples may appear
     in any order in the store.  Relationship multiplicity is honoured.
+
+    Both passes walk ``store.triples()`` — the store's first-assertion
+    insertion order — never the index dictionaries, whose innermost
+    sets iterate in hash order.  A store loaded from
+    :func:`~repro.model.triples.entity_graph_to_triples` therefore
+    rebuilds the graph with the original entity insertion order and
+    first-seen type order (typing triples are grouped per subject so
+    each entity is added once, with its full ordered type list), and a
+    store loaded from a sorted dataset file rebuilds it in the file's
+    deterministic order.
     """
     from ..model.ids import parse_qualified_name
 
     graph = EntityGraph(name=name)
-    for triple, count in store.scan_counted(predicate=TYPE_PREDICATE):
+    entity_types: dict = {}
+    for triple, _count in store.triples():
         # Typing triples are idempotent; multiplicity is ignored.
-        graph.add_entity(triple.subject, [triple.object])
+        if triple.predicate == TYPE_PREDICATE:
+            types = entity_types.setdefault(triple.subject, [])
+            if triple.object not in types:
+                types.append(triple.object)
+    for entity, types in entity_types.items():
+        graph.add_entity(entity, types)
     for triple, count in store.triples():
         if triple.predicate == TYPE_PREDICATE:
             continue

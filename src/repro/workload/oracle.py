@@ -32,6 +32,7 @@ def run_conformance(
     paths: Sequence[str] = REPLAY_PATHS,
     jobs: int = 2,
     keep_payloads: bool = False,
+    store: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Replay ``trace`` through ``paths`` and diff every payload.
 
@@ -46,6 +47,10 @@ def run_conformance(
         Worker processes for the ``sharded`` path.
     keep_payloads:
         Retain full payloads per path (for debugging a divergence).
+    store:
+        Optional ``.rgs`` binary store every path opens its starting
+        graph from (fingerprint-checked) instead of regenerating the
+        trace's domain.
 
     Returns
     -------
@@ -82,6 +87,7 @@ def run_conformance(
             jobs=jobs,
             verify_digests=True,
             keep_payloads=keep_payloads,
+            store=store,
         )
         results[path] = result
         if keep_payloads:

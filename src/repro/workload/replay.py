@@ -113,16 +113,37 @@ class ReplayResult:
         return self.ops / self.seconds if self.seconds > 0 else float("inf")
 
 
-def _starting_graph(trace: WorkloadTrace):
-    """The trace's starting graph, regenerated and fingerprint-checked.
+def _starting_graph(trace: WorkloadTrace, store: Optional[str] = None):
+    """The trace's starting graph, fingerprint-checked.
+
+    With ``store`` the graph cold-opens from a ``.rgs`` binary store
+    (:func:`repro.store.open_store`) instead of regenerating the domain
+    — O(header) plus materialization, no generator in the loop.  Either
+    way the graph the replay starts from must carry the fingerprint the
+    trace was recorded against.
 
     Raises
     ------
     WorkloadError
         When the trace pins a fingerprint and the regenerated domain
-        no longer matches it — the generator (or a profile) drifted,
-        and replaying would only produce a wall of payload mismatches.
+        (or the stored graph) no longer matches it — replaying would
+        only produce a wall of payload mismatches.
     """
+    if store is not None:
+        from ..store import open_store
+
+        with open_store(store) as store_file:
+            if (
+                trace.fingerprint is not None
+                and store_file.fingerprint != trace.fingerprint
+            ):
+                raise WorkloadError(
+                    f"dataset mismatch: store {store!s} fingerprints "
+                    f"{store_file.fingerprint} but the trace was recorded "
+                    f"against {trace.fingerprint} — rebuild the store from "
+                    "the trace's domain (or re-record the trace)"
+                )
+            return store_file.entity_graph()
     graph = generate_domain(trace.domain, scale=trace.scale, seed=trace.seed)
     if trace.fingerprint is not None:
         actual = graph_fingerprint(graph)
@@ -214,9 +235,9 @@ class _SerialReplay:
 
     path = "serial"
 
-    def __init__(self, trace: WorkloadTrace) -> None:
+    def __init__(self, trace: WorkloadTrace, store: Optional[str] = None) -> None:
         self._trace = trace
-        self._graph = _starting_graph(trace)
+        self._graph = _starting_graph(trace, store)
 
     def _fresh_engine(self) -> PreviewEngine:
         return PreviewEngine(
@@ -257,10 +278,12 @@ class _SerialReplay:
 class _IncrementalReplay:
     """One live graph + warm engine; optional sharded executor."""
 
-    def __init__(self, trace: WorkloadTrace, jobs: int = 1) -> None:
+    def __init__(
+        self, trace: WorkloadTrace, jobs: int = 1, store: Optional[str] = None
+    ) -> None:
         self.path = "sharded" if jobs > 1 else "incremental"
         self._trace = trace
-        self._graph = IncrementalEntityGraph(base=_starting_graph(trace))
+        self._graph = IncrementalEntityGraph(base=_starting_graph(trace, store))
         self._engine = self._graph.engine(trace.key_scorer, trace.nonkey_scorer)
         self._accounting = _EngineAccounting(self.path)
         if jobs > 1:
@@ -323,14 +346,14 @@ class _ServeReplay:
 
     path = "serve"
 
-    def __init__(self, trace: WorkloadTrace) -> None:
+    def __init__(self, trace: WorkloadTrace, store: Optional[str] = None) -> None:
         from ..serve import EngineHost, PreviewService, ServeClient, run_in_background
 
         self._trace = trace
         self._client_factory = ServeClient
         self._host = EngineHost(
             trace.domain,
-            _starting_graph(trace),
+            _starting_graph(trace, store),
             key_scorer=trace.key_scorer,
             nonkey_scorer=trace.nonkey_scorer,
         )
@@ -425,7 +448,7 @@ class _ReplicatedReplay:
     #: a single replica cannot exercise cross-replica ordering).
     REPLICAS = 2
 
-    def __init__(self, trace: WorkloadTrace) -> None:
+    def __init__(self, trace: WorkloadTrace, store: Optional[str] = None) -> None:
         from ..replicate import (
             ReplicaHost,
             ReplicaService,
@@ -439,7 +462,7 @@ class _ReplicatedReplay:
         self._client_factory = ServeClient
         self._writer_host = WriterHost(
             trace.domain,
-            _starting_graph(trace),
+            _starting_graph(trace, store),
             key_scorer=trace.key_scorer,
             nonkey_scorer=trace.nonkey_scorer,
         )
@@ -451,7 +474,7 @@ class _ReplicatedReplay:
         for _ in range(self.REPLICAS):
             host = ReplicaHost(
                 trace.domain,
-                _starting_graph(trace),
+                _starting_graph(trace, store),
                 key_scorer=trace.key_scorer,
                 nonkey_scorer=trace.nonkey_scorer,
             )
@@ -580,22 +603,24 @@ class _ReplicatedReplay:
         self._writer.stop()
 
 
-def _make_replayer(trace: WorkloadTrace, path: str, jobs: int):
+def _make_replayer(
+    trace: WorkloadTrace, path: str, jobs: int, store: Optional[str] = None
+):
     if path == "serial":
-        return _SerialReplay(trace)
+        return _SerialReplay(trace, store=store)
     if path == "incremental":
-        return _IncrementalReplay(trace, jobs=1)
+        return _IncrementalReplay(trace, jobs=1, store=store)
     if path == "sharded":
         if jobs < 2:
             raise WorkloadError(
                 f"the sharded path needs jobs >= 2, got {jobs} "
                 "(use the incremental path for a serial warm engine)"
             )
-        return _IncrementalReplay(trace, jobs=jobs)
+        return _IncrementalReplay(trace, jobs=jobs, store=store)
     if path == "serve":
-        return _ServeReplay(trace)
+        return _ServeReplay(trace, store=store)
     if path == "replicated":
-        return _ReplicatedReplay(trace)
+        return _ReplicatedReplay(trace, store=store)
     raise WorkloadError(
         f"unknown replay path {path!r}; available: {', '.join(REPLAY_PATHS)}"
     )
@@ -607,6 +632,7 @@ def replay_trace(
     jobs: int = 2,
     verify_digests: bool = False,
     keep_payloads: bool = False,
+    store: Optional[str] = None,
 ) -> ReplayResult:
     """Replay ``trace`` through one path and digest every payload.
 
@@ -624,6 +650,10 @@ def replay_trace(
         :attr:`ReplayResult.digest_mismatches`.
     keep_payloads:
         Keep the full payload objects on the result (memory-heavy).
+    store:
+        Optional ``.rgs`` binary store path the starting graph is
+        opened from instead of regenerating the trace's domain
+        (fingerprint-checked against the trace header).
 
     Returns
     -------
@@ -635,7 +665,7 @@ def replay_trace(
     WorkloadError
         For an unknown path or an accounting violation mid-replay.
     """
-    replayer = _make_replayer(trace, path, jobs)
+    replayer = _make_replayer(trace, path, jobs, store=store)
     digests: List[Optional[str]] = []
     payloads: List[Any] = [] if keep_payloads else None
     mismatches: List[Tuple[int, str, str]] = []

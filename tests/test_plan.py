@@ -620,3 +620,66 @@ class TestEngineDecisionAccounting:
             "fallback",
             "vetoed_single_core",
         }
+
+
+class _WeakrefableSnapshot:
+    """A minimal weakref-able snapshot stand-in for memoization tests."""
+
+    def __init__(self) -> None:
+        self.weighted = [(1.0, 2.0)] * 50
+
+
+class TestSnapshotCostIdReuse:
+    """The snapshot-cost memo must key on identity, not on ``id()`` alone.
+
+    Regression for a bug where the memo was a bare ``set`` of ``id()``
+    values: CPython recycles addresses after garbage collection, so a
+    fresh snapshot allocated at a dead snapshot's address silently
+    inherited its cost measurement and was never pickled-probed itself.
+    """
+
+    def test_recycled_id_is_measured_independently(self):
+        import gc
+
+        planner = Planner(model=CostModel(window=8))
+        first = _WeakrefableSnapshot()
+        planner.observe_snapshot_cost(first)
+        assert planner.model.snapshot_stats()["samples"] == 1
+        second = _WeakrefableSnapshot()
+        # Simulate address reuse: transplant the dead entry onto the new
+        # snapshot's id, then drop the original so its weakref dies.
+        planner._measured_snapshots[id(second)] = (
+            planner._measured_snapshots.pop(id(first))
+        )
+        del first
+        gc.collect()
+        planner.observe_snapshot_cost(second)
+        assert planner.model.snapshot_stats()["samples"] == 2
+
+    def test_live_collision_with_different_object_remeasures(self):
+        planner = Planner(model=CostModel(window=8))
+        first = _WeakrefableSnapshot()
+        second = _WeakrefableSnapshot()
+        planner.observe_snapshot_cost(first)
+        # A stored entry for second's id that resolves to *first* must
+        # not count as a hit for second.
+        planner._measured_snapshots[id(second)] = (
+            planner._measured_snapshots[id(first)]
+        )
+        planner.observe_snapshot_cost(second)
+        assert planner.model.snapshot_stats()["samples"] == 2
+
+    def test_memo_is_fifo_bounded(self):
+        planner = Planner(model=CostModel(window=64))
+        keep = [_WeakrefableSnapshot() for _ in range(20)]
+        for snapshot in keep:
+            planner.observe_snapshot_cost(snapshot)
+        assert len(planner._measured_snapshots) <= 16
+        assert planner.model.snapshot_stats()["samples"] == 20
+
+    def test_unweakrefable_snapshot_still_memoized(self):
+        planner = Planner(model=CostModel(window=8))
+        snapshot = {"weighted": [(1.0,)] * 10}  # dicts take no weakrefs
+        planner.observe_snapshot_cost(snapshot)
+        planner.observe_snapshot_cost(snapshot)
+        assert planner.model.snapshot_stats()["samples"] == 1

@@ -172,3 +172,122 @@ class TestSchemaBridge:
         s.add(Triple("a", "unqualified", "a"))
         with pytest.raises(StoreError):
             entity_graph_from_store(s)
+
+
+class TestRoundTripOrderRegression:
+    """Store round trips must preserve the orders scorers observe.
+
+    Regression for a bug where ``entity_graph_to_triples`` emitted each
+    entity's types in set-iteration order and the rebuild side replayed
+    them through index sets, so a saved-and-reloaded graph could present
+    types in a different first-seen order than its source — same
+    extensional content, different preview payloads.
+    """
+
+    #: (algorithm, query kwargs) — each with a constraint shape the
+    #: algorithm registers for.
+    ALGORITHMS = (
+        ("apriori", {"d": 2, "mode": "tight"}),
+        ("branch-and-bound", {"d": 2, "mode": "tight"}),
+        ("brute-force", {"d": 2, "mode": "tight"}),
+        ("dynamic-programming", {}),
+    )
+
+    def test_fingerprint_survives_text_round_trip(self, fig1_graph, tmp_path):
+        """The text formats preserve content (the binary store also
+        preserves order — that lives in tests/test_disk_store.py)."""
+        from repro.datasets.loader import (
+            graph_fingerprint,
+            load_domain_file,
+            save_domain,
+        )
+
+        for ext in ("tsv", "jsonl"):
+            path = tmp_path / f"fig1.{ext}"
+            save_domain(fig1_graph, path)
+            clone = load_domain_file(path, name="fig1")
+            assert graph_fingerprint(clone) == graph_fingerprint(fig1_graph)
+            for entity in fig1_graph.entities():
+                assert clone.types_of(entity) == fig1_graph.types_of(entity)
+
+    @pytest.mark.parametrize(
+        "algorithm,kwargs", ALGORITHMS, ids=[name for name, _ in ALGORITHMS]
+    )
+    def test_preview_payloads_identical_after_round_trip(
+        self, fig1_graph, algorithm, kwargs
+    ):
+        from repro.core.serialize import result_to_dict
+        from repro.engine import PreviewEngine
+
+        clone = entity_graph_from_store(
+            store_from_entity_graph(fig1_graph), name=fig1_graph.name
+        )
+        reference = PreviewEngine(fig1_graph).query(
+            k=2, n=4, algorithm=algorithm, **kwargs
+        )
+        result = PreviewEngine(clone).query(
+            k=2, n=4, algorithm=algorithm, **kwargs
+        )
+        assert result_to_dict(result) == result_to_dict(reference)
+
+    def test_multi_type_entity_order_survives(self):
+        """An entity introducing several types keeps their caller order."""
+        from repro.model import EntityGraph
+
+        graph = EntityGraph(name="order")
+        graph.add_entity("zed", ["ZULU", "ALPHA", "MIKE"])  # not sorted
+        graph.add_entity("amy", ["ALPHA"])
+        clone = entity_graph_from_store(
+            store_from_entity_graph(graph), name="order"
+        )
+        assert clone.entity_types() == graph.entity_types()
+
+
+class TestStrictPersistence:
+    """Malformed dataset rows fail loudly, shape by shape (PR 10)."""
+
+    def test_unknown_escape_raises_with_row_number(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\\xb\tp\to\t1\n")
+        with pytest.raises(PersistenceError, match=r"bad\.tsv:1.*unknown escape"):
+            load_tsv(path)
+
+    def test_trailing_backslash_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("s\tp\to\\\t1\n")
+        with pytest.raises(PersistenceError, match="trailing lone backslash"):
+            load_tsv(path)
+
+    @pytest.mark.parametrize(
+        "row",
+        ["one\ttwo\tthree\n", "a\tb\tc\td\te\n"],
+        ids=["three-columns", "five-columns"],
+    )
+    def test_wrong_column_count_raises(self, tmp_path, row):
+        path = tmp_path / "bad.tsv"
+        path.write_text(row)
+        with pytest.raises(PersistenceError, match="expected 4"):
+            load_tsv(path)
+
+    @pytest.mark.parametrize("count", ["zero", "1.5", "0", "-3"])
+    def test_bad_counts_raise(self, tmp_path, count):
+        path = tmp_path / "bad.tsv"
+        path.write_text(f"s\tp\to\t{count}\n")
+        with pytest.raises(PersistenceError):
+            load_tsv(path)
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            '{"s": "a", "p": "b", "o": "c", "n": 0}',
+            '{"s": "a", "p": "b", "o": "c", "n": -2}',
+            '{"s": "a", "p": "b", "o": "c", "n": "many"}',
+            '{"s": "a", "p": "b"}',
+        ],
+        ids=["zero-count", "negative-count", "nonint-count", "missing-term"],
+    )
+    def test_bad_jsonl_rows_raise(self, tmp_path, line):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(line + "\n")
+        with pytest.raises(PersistenceError):
+            load_jsonl(path)

@@ -229,3 +229,56 @@ def test_golden_conformance_across_paths(golden):
     assert incremental["rescan_ok"] is True
     # The warm engine actually got warm: hot queries repeated.
     assert incremental["hits"] > 0
+
+
+# ----------------------------------------------------------------------
+# Store-opened starting graph (docs/disk-store.md)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def golden_store(golden, tmp_path_factory):
+    """The golden trace's starting graph, serialized to a binary store."""
+    from repro.datasets import generate_domain
+    from repro.store import build_store
+
+    graph = generate_domain(
+        golden.domain, scale=golden.scale, seed=golden.seed
+    )
+    path = tmp_path_factory.mktemp("golden-store") / "golden.rgs"
+    build_store(graph, path)
+    return str(path)
+
+
+@pytest.mark.parametrize("path", ["serial", "incremental", "sharded"])
+def test_golden_digests_reproduce_from_store(golden, golden_store, path):
+    """A store-opened graph replays the golden trace digest-identically.
+
+    The strongest round-trip statement the repo can make: the binary
+    store's materialized graph is indistinguishable from the generated
+    one under 48 mixed ops — previews, sweeps and mutations included —
+    on the cold, warm and process-sharded paths alike.
+    """
+    result = replay_trace(
+        golden,
+        path=path,
+        jobs=JOBS if path == "sharded" else 1,
+        verify_digests=True,
+        store=golden_store,
+    )
+    assert result.ops == len(golden.ops)
+    assert not result.digest_mismatches, (
+        f"{path} from the store diverged from the recorded payloads at "
+        f"op(s) {[entry[0] for entry in result.digest_mismatches]}"
+    )
+
+
+def test_golden_store_fingerprint_mismatch_is_rejected(golden, tmp_path):
+    """A store of the wrong graph fails fast, before any payload diffs."""
+    from repro.datasets import generate_domain
+    from repro.exceptions import WorkloadError
+    from repro.store import build_store
+
+    other = generate_domain(golden.domain, scale=golden.scale, seed=golden.seed + 1)
+    path = tmp_path / "wrong.rgs"
+    build_store(other, path)
+    with pytest.raises(WorkloadError, match="dataset mismatch"):
+        replay_trace(golden, path="serial", store=str(path))
